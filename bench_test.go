@@ -1,0 +1,199 @@
+// Benchmarks: one per table and figure of the paper's evaluation
+// (each runs the experiment that regenerates it, in quick mode so a
+// full -bench=. pass stays tractable), ablation benches for MNTP's
+// design choices, and micro-benchmarks of the hot protocol paths.
+package mntp
+
+import (
+	"testing"
+	"time"
+
+	"mntp/internal/core"
+	"mntp/internal/experiments"
+	"mntp/internal/stats"
+	"mntp/internal/testbed"
+	"mntp/internal/tuner"
+)
+
+// benchOpts are the reduced-scale settings used by every experiment
+// bench.
+func benchOpts(seed int64) experiments.Options {
+	return experiments.Options{Seed: seed, Quick: true}
+}
+
+// runExperiment reports a headline metric as a custom benchmark unit
+// so regressions in reproduction quality are visible in bench output.
+func runExperiment(b *testing.B, run func(experiments.Options) experiments.Outcome, metric string) {
+	b.ReportAllocs()
+	var last experiments.Outcome
+	for i := 0; i < b.N; i++ {
+		last = run(benchOpts(2016 + int64(i)))
+	}
+	for _, m := range last.Metrics {
+		if m.Name == metric {
+			b.ReportMetric(m.Measured, metric_unit(m.Unit))
+		}
+	}
+}
+
+func metric_unit(u string) string { return u + "/op" }
+
+func BenchmarkTable1LogAnalysis(b *testing.B) {
+	runExperiment(b, experiments.Table1, "scaled measurements")
+}
+
+func BenchmarkFigure1MinOWD(b *testing.B) {
+	runExperiment(b, experiments.Figure1, "mobile median min-OWD")
+}
+
+func BenchmarkFigure2ProtocolShare(b *testing.B) {
+	runExperiment(b, experiments.Figure2, "mobile providers mean SNTP share")
+}
+
+func BenchmarkFigure3TestbedSetup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		testbed.New(testbed.Config{Seed: int64(i), Access: testbed.Wireless, Monitor: true})
+	}
+}
+
+func BenchmarkFigure4WiredVsWireless(b *testing.B) {
+	runExperiment(b, experiments.Figure4, "wireless+NTP mean |offset|")
+}
+
+func BenchmarkFigure5Cellular(b *testing.B) {
+	runExperiment(b, experiments.Figure5, "mean |offset|")
+}
+
+func BenchmarkFigure6MNTPvsSNTP(b *testing.B) {
+	runExperiment(b, experiments.Figure6, "improvement factor")
+}
+
+func BenchmarkFigure7Signals(b *testing.B) {
+	runExperiment(b, experiments.Figure7, "rejected offsets")
+}
+
+func BenchmarkFigure8NoCorrection(b *testing.B) {
+	runExperiment(b, experiments.Figure8, "improvement factor")
+}
+
+func BenchmarkFigure9WiredSNTP(b *testing.B) {
+	runExperiment(b, experiments.Figure9, "MNTP(wireless) max |offset|")
+}
+
+func BenchmarkFigure10WiredSNTPNoCorr(b *testing.B) {
+	runExperiment(b, experiments.Figure10, "MNTP(wireless) max |corrected residual|")
+}
+
+func BenchmarkFigure11TunerConfigs(b *testing.B) {
+	runExperiment(b, experiments.Figure11, "best config RMSE")
+}
+
+func BenchmarkFigure12LongRun(b *testing.B) {
+	runExperiment(b, experiments.Figure12, "MNTP max |corrected residual|")
+}
+
+func BenchmarkTable2TunerSweep(b *testing.B) {
+	runExperiment(b, experiments.Table2, "config 1 RMSE")
+}
+
+func BenchmarkExtensionEnergy(b *testing.B) {
+	runExperiment(b, experiments.ExtensionEnergy, "mntp daily energy (3G)")
+}
+
+func BenchmarkExtensionNITZ(b *testing.B) {
+	runExperiment(b, experiments.ExtensionNITZ, "mntp worst error")
+}
+
+func BenchmarkExtensionSelfTune(b *testing.B) {
+	runExperiment(b, experiments.ExtensionSelfTune, "self-tuned RMSE")
+}
+
+func BenchmarkExtensionRTSCTS(b *testing.B) {
+	runExperiment(b, experiments.ExtensionRTSCTS, "mean with RTS/CTS")
+}
+
+func BenchmarkExtensionNTPComparison(b *testing.B) {
+	runExperiment(b, experiments.ExtensionNTPComparison, "mntp worst clock error")
+}
+
+// --- Ablations: the design choices DESIGN.md calls out. Each bench
+// reports the max |offset| accepted by MNTP under the ablated
+// configuration; comparing them quantifies each mechanism's
+// contribution.
+
+func ablationRun(b *testing.B, mutate func(*core.Params)) {
+	b.ReportAllocs()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		params := core.DefaultParams(testbed.PoolName)
+		params.WarmupPeriod = 5 * time.Minute
+		params.WarmupWaitTime = 5 * time.Second
+		params.RegularWaitTime = 5 * time.Second
+		params.ResetPeriod = time.Hour
+		mutate(&params)
+		tb := testbed.New(testbed.Config{
+			Seed: 400 + int64(i), Access: testbed.Wireless, Monitor: true, NTPCorrection: true,
+		})
+		s := tb.RunMNTP(params, 30*time.Minute, false)
+		worst = stats.MaxAbs(s.Reported())
+	}
+	b.ReportMetric(worst, "maxOffsetMs/op")
+}
+
+func BenchmarkAblationFull(b *testing.B) {
+	ablationRun(b, func(p *core.Params) {})
+}
+
+func BenchmarkAblationNoGating(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.DisableGating = true })
+}
+
+func BenchmarkAblationNoFilter(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.DisableFilter = true })
+}
+
+func BenchmarkAblationNoGatingNoFilter(b *testing.B) {
+	ablationRun(b, func(p *core.Params) {
+		p.DisableGating = true
+		p.DisableFilter = true
+	})
+}
+
+func BenchmarkAblationNoFalseTickerRejection(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.DisableFalseTickerRejection = true })
+}
+
+// --- Micro-benchmarks of hot paths.
+
+func BenchmarkMNTPFilterOffer(b *testing.B) {
+	f := core.NewFilter(3*time.Millisecond, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := time.Duration(i) * 5 * time.Second
+		f.Offer(x, time.Duration(i%7)*time.Millisecond)
+	}
+}
+
+func BenchmarkTunerEmulate(b *testing.B) {
+	tb := testbed.New(testbed.Config{Seed: 9, Access: testbed.Wireless, Monitor: true})
+	tr := tuner.Collect(tb, []string{testbed.PoolName, testbed.PoolName, testbed.PoolName},
+		5*time.Second, 30*time.Minute)
+	params := tuner.Table2Configs()[1].Params()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tuner.Emulate(tr, params)
+	}
+}
+
+func BenchmarkSimulatedHour(b *testing.B) {
+	// End-to-end cost of simulating one hour of SNTP at 5 s cadence.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := testbed.New(testbed.Config{
+			Seed: 600 + int64(i), Access: testbed.Wireless, Monitor: true,
+		})
+		tb.RunSNTP(5*time.Second, time.Hour)
+	}
+}

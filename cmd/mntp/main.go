@@ -1,0 +1,162 @@
+// Command mntp runs an MNTP client (Algorithm 1 of the paper).
+//
+// Two transports are supported:
+//
+//   - sim (default): a complete simulated wireless testbed is built
+//     and the client runs in virtual time — useful for demonstration
+//     and parameter exploration;
+//   - udp: the client runs in wall time against real NTP servers,
+//     reading wireless hints from `airport -I` (macOS) or
+//     `iwconfig <if>` (Linux) output supplied on a named pipe/file,
+//     or treating the channel as always favorable with -hints none.
+//
+// Usage:
+//
+//	mntp -transport sim [-duration 1h] [-seed 7]
+//	mntp -transport udp -server 0.pool.ntp.org:123 [-hints airport|iwconfig|none] [-hints-cmd PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/core"
+	"mntp/internal/driftfile"
+	"mntp/internal/hints"
+	"mntp/internal/netsim"
+	"mntp/internal/ntpnet"
+	"mntp/internal/sntp"
+	"mntp/internal/testbed"
+)
+
+func main() {
+	transport := flag.String("transport", "sim", "sim or udp")
+	server := flag.String("server", "0.pool.ntp.org:123", "NTP server (udp transport)")
+	hintsMode := flag.String("hints", "none", "udp transport hint source: airport, iwconfig or none")
+	hintsCmd := flag.String("hints-cmd", "", "command printing airport/iwconfig output (default: the utility itself)")
+	iface := flag.String("iface", "wlan0", "wireless interface for iwconfig")
+	drift := flag.String("driftfile", "", "persist the measured drift estimate here (ntpd-compatible format)")
+	duration := flag.Duration("duration", time.Hour, "how long to run")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	warmup := flag.Duration("warmup", 10*time.Minute, "warmupPeriod")
+	warmupWait := flag.Duration("warmup-wait", 15*time.Second, "warmupWaitTime")
+	regularWait := flag.Duration("regular-wait", 5*time.Minute, "regularWaitTime")
+	reset := flag.Duration("reset", 4*time.Hour, "resetPeriod")
+	flag.Parse()
+
+	params := core.DefaultParams(testbed.PoolName)
+	params.WarmupPeriod = *warmup
+	params.WarmupWaitTime = *warmupWait
+	params.RegularWaitTime = *regularWait
+	params.ResetPeriod = *reset
+
+	switch *transport {
+	case "sim":
+		runSim(*seed, params, *duration)
+	case "udp":
+		runUDP(*server, *hintsMode, *hintsCmd, *iface, *drift, params, *duration)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+}
+
+func printEvent(e core.Event) {
+	switch e.Kind {
+	case core.EventAccepted, core.EventRejected:
+		fmt.Printf("%9.1fs %-7s %-12s offset=%8.2fms rssi=%6.1f noise=%6.1f drift=%+.2fppm\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind,
+			e.Offset.Seconds()*1000, e.Hints.RSSI, e.Hints.Noise, e.Drift*1e6)
+	case core.EventDriftCorrected:
+		fmt.Printf("%9.1fs %-7s %-12s drift=%+.2fppm\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Drift*1e6)
+	case core.EventFalseTicker:
+		fmt.Printf("%9.1fs %-7s %-12s offset=%8.2fms\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Offset.Seconds()*1000)
+	}
+}
+
+func runSim(seed int64, params core.Params, duration time.Duration) {
+	tb := testbed.New(testbed.Config{Seed: seed, Access: testbed.Wireless, Monitor: true})
+	fmt.Printf("simulated testbed: pool %s, %d members, seed %d\n",
+		testbed.PoolName, len(tb.Members), seed)
+	tb.Sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+		c := core.New(tb.TNClock, nil, tr, tb.Hints, p, params)
+		c.OnEvent = printEvent
+		c.Run(duration)
+	})
+	tb.Sched.Run()
+	fmt.Printf("done: TN clock true offset at end: %v\n", tb.TNClock.TrueOffset())
+}
+
+// cmdHints shells out to the platform utility and parses its output.
+type cmdHints struct {
+	argv  []string
+	parse func(string) (hints.Hints, error)
+	last  hints.Hints
+}
+
+func (c *cmdHints) Hints() hints.Hints {
+	out, err := exec.Command(c.argv[0], c.argv[1:]...).Output()
+	if err != nil {
+		return c.last // keep the previous reading on failure
+	}
+	h, err := c.parse(string(out))
+	if err != nil {
+		return c.last
+	}
+	c.last = h
+	return h
+}
+
+func runUDP(server, hintsMode, hintsCmd, iface, driftPath string, params core.Params, duration time.Duration) {
+	var hp hints.Provider
+	switch hintsMode {
+	case "airport":
+		argv := []string{"/System/Library/PrivateFrameworks/Apple80211.framework/Versions/Current/Resources/airport", "-I"}
+		if hintsCmd != "" {
+			argv = []string{hintsCmd}
+		}
+		hp = &cmdHints{argv: argv, parse: hints.ParseAirport}
+	case "iwconfig":
+		argv := []string{"iwconfig", iface}
+		if hintsCmd != "" {
+			argv = []string{hintsCmd}
+		}
+		hp = &cmdHints{argv: argv, parse: hints.ParseIwconfig}
+	case "none":
+		hp = hints.AlwaysFavorable
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hints mode %q\n", hintsMode)
+		os.Exit(2)
+	}
+
+	params.WarmupServers = []string{server, server, server}
+	params.RegularServer = server
+	c := core.New(clock.System{}, nil, &ntpnet.Client{Timeout: 3 * time.Second},
+		hp, sntp.WallSleeper{}, params)
+	c.OnEvent = printEvent
+	if driftPath != "" {
+		if prev, ok, err := driftfile.Load(driftPath); err != nil {
+			fmt.Fprintf(os.Stderr, "driftfile: %v\n", err)
+		} else if ok {
+			fmt.Printf("drift file %s: previously measured %+.3f ppm\n", driftPath, prev*1e6)
+		}
+	}
+	fmt.Printf("MNTP over UDP against %s (hints: %s) for %v — measurement only\n",
+		server, hintsMode, duration)
+	c.Run(duration)
+	if est, ok := c.DriftEstimate(); ok {
+		fmt.Printf("measured drift estimate: %+.3f ppm\n", est*1e6)
+		if driftPath != "" {
+			if err := driftfile.Store(driftPath, est); err != nil {
+				fmt.Fprintf(os.Stderr, "driftfile: %v\n", err)
+			}
+		}
+	}
+}

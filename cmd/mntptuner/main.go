@@ -1,0 +1,146 @@
+// Command mntptuner is the §5.3 MNTP tuner: it collects a logging
+// trace on the simulated testbed (or loads one from a file), then
+// either evaluates the paper's six Table 2 configurations or runs a
+// grid search over the four MNTP parameters, reporting RMSE and
+// request counts per configuration.
+//
+// Usage:
+//
+//	mntptuner collect [-out trace.json] [-duration 4h] [-seed 53]
+//	mntptuner table2  [-trace trace.json]
+//	mntptuner search  [-trace trace.json] [-warmup 30,60,120] [-warmup-wait 0.25,1] [-regular-wait 15,30] [-reset 240]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mntp/internal/report"
+	"mntp/internal/testbed"
+	"mntp/internal/tuner"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "collect":
+		collect(os.Args[2:])
+	case "table2":
+		table2(os.Args[2:])
+	case "search":
+		search(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mntptuner collect|table2|search [flags]")
+	os.Exit(2)
+}
+
+func collect(args []string) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	out := fs.String("out", "trace.json", "output trace file")
+	duration := fs.Duration("duration", 4*time.Hour, "logging duration (virtual)")
+	seed := fs.Int64("seed", 53, "testbed seed")
+	fs.Parse(args)
+
+	tb := testbed.New(testbed.Config{Seed: *seed, Access: testbed.Wireless, Monitor: true})
+	sources := []string{testbed.PoolName, testbed.PoolName, testbed.PoolName}
+	tr := tuner.Collect(tb, sources, 5*time.Second, *duration)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("collected %d records over %v -> %s\n", len(tr.Records), *duration, *out)
+}
+
+func loadTrace(path string) *tuner.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := tuner.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return tr
+}
+
+func table2(args []string) {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	trace := fs.String("trace", "trace.json", "trace file from collect")
+	fs.Parse(args)
+	tr := loadTrace(*trace)
+
+	t := report.NewTable("Config", "warmup(min)", "warmupWait(min)", "regularWait(min)",
+		"reset(min)", "RMSE(ms)", "Requests", "Accepted", "Rejected", "Deferred")
+	for _, cfg := range tuner.Table2Configs() {
+		res := tuner.Emulate(tr, cfg.Params())
+		t.AddRow(cfg.Name, cfg.WarmupMin, cfg.WarmupWaitMin, cfg.RegularWaitMin,
+			cfg.ResetMin, res.RMSE, res.Requests, res.Accepted, res.Rejected, res.Deferred)
+	}
+	fmt.Println(t.String())
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func search(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	trace := fs.String("trace", "trace.json", "trace file from collect")
+	warmup := fs.String("warmup", "30,60,120", "warmupPeriod values (minutes)")
+	warmupWait := fs.String("warmup-wait", "0.25,1,5", "warmupWaitTime values (minutes)")
+	regularWait := fs.String("regular-wait", "15,30", "regularWaitTime values (minutes)")
+	reset := fs.String("reset", "240", "resetPeriod values (minutes)")
+	top := fs.Int("top", 10, "show the best N configurations")
+	fs.Parse(args)
+	tr := loadTrace(*trace)
+
+	results := tuner.Search(tr, tuner.SearchSpace{
+		WarmupMin:      parseFloats(*warmup),
+		WarmupWaitMin:  parseFloats(*warmupWait),
+		RegularWaitMin: parseFloats(*regularWait),
+		ResetMin:       parseFloats(*reset),
+	})
+	if *top > len(results) {
+		*top = len(results)
+	}
+	t := report.NewTable("Rank", "warmup(min)", "warmupWait(min)", "regularWait(min)",
+		"reset(min)", "RMSE(ms)", "Requests")
+	for i := 0; i < *top; i++ {
+		r := results[i]
+		t.AddRow(i+1,
+			r.Params.WarmupPeriod.Minutes(), r.Params.WarmupWaitTime.Minutes(),
+			r.Params.RegularWaitTime.Minutes(), r.Params.ResetPeriod.Minutes(),
+			r.RMSE, r.Requests)
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,75 @@
+// Command ntplogan analyzes NTP server pcap traces (as produced by
+// ntploggen, or any raw-IP pcap of NTP traffic on port 123) with the
+// §3.1 pipeline: OWD extraction with the synchronization filtering
+// heuristic, provider grouping and SNTP/NTP classification. It prints
+// the Table 1 row, the Figure 1 per-provider min-OWD distributions,
+// and the Figure 2 protocol shares for each trace.
+//
+// Usage:
+//
+//	ntplogan [-cdf] traces/SU1.pcap [more.pcap ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mntp/internal/ipasn"
+	"mntp/internal/ntplog"
+	"mntp/internal/report"
+	"mntp/internal/stats"
+)
+
+func main() {
+	showCDF := flag.Bool("cdf", false, "render per-provider CDF plots")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ntplogan [-cdf] trace.pcap ...")
+		os.Exit(2)
+	}
+	reg := ipasn.NewRegistry()
+
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := ntplog.Analyze(f, reg, ntplog.AnalyzeConfig{})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+
+		id := strings.TrimSuffix(filepath.Base(path), ".pcap")
+		fmt.Printf("== %s ==\n", path)
+		fmt.Println(rep.Table1Row(id).String())
+		fmt.Printf("valid clients: %d/%d, SNTP share: %.1f%%\n\n",
+			len(rep.ValidClients()), rep.UniqueClients(), rep.ProtocolShare()*100)
+
+		t := report.NewTable("Provider", "Category", "Clients", "SNTP%", "MedMinOWD(ms)", "P25", "P75")
+		var cdfs []report.Series
+		marks := "abcdefghijklmnopqrstuvwxy"
+		for _, agg := range rep.ByProvider() {
+			sum := agg.Summary()
+			t.AddRow(agg.Provider.Name, agg.Provider.Category.String(), agg.Clients,
+				agg.SNTPShare()*100, sum.Median, sum.P25, sum.P75)
+			if *showCDF && len(agg.MinOWDs) >= 10 {
+				c := stats.NewCDF(agg.MinOWDs)
+				xs, ps := c.Points(40)
+				cdfs = append(cdfs, report.Series{
+					Name: agg.Provider.Name, Marker: rune(marks[(agg.Provider.Rank-1)%len(marks)]),
+					X: xs, Y: ps,
+				})
+			}
+		}
+		fmt.Println(t.String())
+		if *showCDF && len(cdfs) > 0 {
+			fmt.Println(report.CDFPlot("CDF of min OWDs per provider", "ms", cdfs))
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command ntpserver runs a standalone NTP/SNTP server over UDP,
+// answering mode-3 queries from the system clock (optionally shifted,
+// for testing client behaviour against a known-wrong server).
+//
+// Usage:
+//
+//	ntpserver [-listen 127.0.0.1:11123] [-stratum 2] [-shift 0ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/ntpnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:11123", "listen address")
+	stratum := flag.Int("stratum", 2, "advertised stratum")
+	shift := flag.Duration("shift", 0, "constant error added to served time")
+	flag.Parse()
+
+	var clk clock.Clock = clock.System{}
+	if *shift != 0 {
+		clk = &clock.Fixed{Base: clock.System{}, Error: *shift}
+	}
+	srv := ntpnet.NewServer(clk, uint8(*stratum))
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v)\n", addr, *stratum, *shift)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("served %d requests\n", srv.Served())
+			srv.Close()
+			return
+		case <-tick.C:
+			fmt.Printf("served %d requests\n", srv.Served())
+		}
+	}
+}

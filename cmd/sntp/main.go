@@ -1,0 +1,57 @@
+// Command sntp is a simple SNTP query tool over real UDP: it performs
+// one or more exchanges with an NTP server and prints the measured
+// offset and delay, optionally with the Android- or Windows-Mobile-
+// style client behaviours documented in §2 of the paper.
+//
+// Usage:
+//
+//	sntp [-server host:123] [-n count] [-interval 5s] [-profile default|android|windowsmobile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/ntpnet"
+	"mntp/internal/sntp"
+)
+
+func main() {
+	server := flag.String("server", "0.pool.ntp.org:123", "NTP server")
+	count := flag.Int("n", 1, "number of queries")
+	interval := flag.Duration("interval", 5*time.Second, "interval between queries")
+	profile := flag.String("profile", "default", "client profile: default, android, windowsmobile")
+	flag.Parse()
+
+	var cfg sntp.Config
+	switch *profile {
+	case "default":
+		cfg = sntp.Config{Server: *server, Retries: 1}
+	case "android":
+		cfg = sntp.AndroidConfig(*server)
+	case "windowsmobile":
+		cfg = sntp.WindowsMobileConfig(*server)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	c := sntp.New(clock.System{}, &ntpnet.Client{Timeout: 3 * time.Second},
+		sntp.WallSleeper{}, cfg)
+	for i := 0; i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		s, err := c.Query()
+		if err != nil {
+			fmt.Printf("%s: query failed: %v\n", time.Now().Format(time.RFC3339), err)
+			continue
+		}
+		fmt.Printf("%s: server=%s stratum=%d offset=%+.3fms delay=%.3fms\n",
+			time.Now().Format(time.RFC3339), s.Server, s.Stratum,
+			s.Offset.Seconds()*1000, s.Delay.Seconds()*1000)
+	}
+}

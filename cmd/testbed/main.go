@@ -1,0 +1,110 @@
+// Command testbed runs one laboratory scenario (the conditions of
+// Figures 4–10 and 12) and prints the resulting offset series summary
+// and plot.
+//
+// Usage:
+//
+//	testbed [-protocol sntp|mntp] [-access wireless|wired|cellular]
+//	        [-correction none|ntp|gps] [-monitor] [-duration 1h]
+//	        [-interval 5s] [-seed 1] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mntp/internal/core"
+	"mntp/internal/report"
+	"mntp/internal/testbed"
+)
+
+func main() {
+	protocol := flag.String("protocol", "sntp", "sntp or mntp")
+	access := flag.String("access", "wireless", "wireless, wired or cellular")
+	correction := flag.String("correction", "ntp", "none, ntp or gps")
+	monitor := flag.Bool("monitor", true, "run the monitor-node interference loop")
+	duration := flag.Duration("duration", time.Hour, "experiment duration (virtual)")
+	interval := flag.Duration("interval", 5*time.Second, "request interval")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	plot := flag.Bool("plot", false, "render an ASCII plot of the series")
+	updateClock := flag.Bool("update-clock", false, "let MNTP update the clock (regular phase)")
+	flag.Parse()
+
+	cfg := testbed.Config{Seed: *seed, Monitor: *monitor}
+	switch *access {
+	case "wireless":
+		cfg.Access = testbed.Wireless
+	case "wired":
+		cfg.Access = testbed.Wired
+	case "cellular":
+		cfg.Access = testbed.Cellular
+	default:
+		fmt.Fprintf(os.Stderr, "unknown access %q\n", *access)
+		os.Exit(2)
+	}
+	switch *correction {
+	case "none":
+	case "ntp":
+		cfg.NTPCorrection = true
+	case "gps":
+		cfg.GPSCorrection = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown correction %q\n", *correction)
+		os.Exit(2)
+	}
+
+	tb := testbed.New(cfg)
+	var s *testbed.Series
+	switch *protocol {
+	case "sntp":
+		s = tb.RunSNTP(*interval, *duration)
+	case "mntp":
+		params := core.DefaultParams(testbed.PoolName)
+		params.WarmupPeriod = *duration / 6
+		params.WarmupWaitTime = *interval
+		params.RegularWaitTime = *interval
+		params.ResetPeriod = 2 * *duration
+		s = tb.RunMNTP(params, *duration, *updateClock)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	sum := s.Summary()
+	fmt.Printf("%s over %s (%s correction): %d points, %d requests, %d deferred, %d failed\n",
+		*protocol, *access, *correction, len(s.Points), s.Requests, s.Deferred, s.Failed)
+	fmt.Printf("|offset|: mean=%.2fms std=%.2fms median=%.2fms p95=%.2fms max=%.2fms\n",
+		sum.Mean, sum.Std, sum.Median, sum.P95, sum.Max)
+	if resid := s.CorrectedResiduals(); len(resid) > 0 {
+		fmt.Printf("corrected residuals: n=%d max=%.2fms\n", len(resid), maxAbs(resid))
+	}
+	fmt.Printf("final true clock offset: %v\n", tb.TNClock.TrueOffset())
+
+	if *plot {
+		p := report.NewPlot("reported offsets", "minutes", "ms")
+		var xs, ys []float64
+		for _, pt := range s.Points {
+			if pt.Accepted {
+				xs = append(xs, pt.Elapsed.Minutes())
+				ys = append(ys, pt.Offset.Seconds()*1000)
+			}
+		}
+		p.Add(report.Series{Name: *protocol, Marker: '+', X: xs, Y: ys})
+		fmt.Println(p.String())
+	}
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

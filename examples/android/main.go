@@ -1,0 +1,93 @@
+// Android: the mobile time stack of §2 of the paper, end to end — a
+// phone on a 4G network with the Android policy (NITZ when the
+// carrier provides it, otherwise a daily SNTP poll with a 5-second
+// update threshold), compared against running MNTP on the same
+// device. Two days of virtual time in well under a second.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/core"
+	"mntp/internal/netsim"
+	"mntp/internal/nitz"
+	"mntp/internal/sntp"
+	"mntp/internal/stats"
+	"mntp/internal/sysclock"
+	"mntp/internal/testbed"
+)
+
+const twoDays = 48 * time.Hour
+
+// phoneClock is a commodity handset crystal: 45 ppm fast.
+var phoneClock = clock.Config{SkewPPM: 45, Seed: 99}
+
+// run executes one policy on a fresh cellular testbed and returns the
+// summary of |true clock error| sampled every 10 minutes.
+func run(policy func(tb *testbed.Testbed)) stats.Summary {
+	cfg := phoneClock
+	tb := testbed.New(testbed.Config{Seed: 1234, Access: testbed.Cellular, ClockConfig: &cfg})
+	policy(tb)
+	var samples []float64
+	tb.Sched.Every(10*time.Minute, 10*time.Minute, func() bool {
+		off := tb.TNClock.TrueOffset().Seconds() * 1000
+		if off < 0 {
+			off = -off
+		}
+		samples = append(samples, off)
+		return tb.Sched.Now() < twoDays
+	})
+	tb.Sched.Run()
+	return stats.Summarize(samples)
+}
+
+func main() {
+	fmt.Println("A 45ppm phone on 4G for two days (|clock error| sampled every 10min):")
+	fmt.Println()
+
+	// Policy 1: carrier NITZ only (signals on network boundary
+	// crossings, ~every 5 h; applied when off by more than 5 s).
+	nitzSum := run(func(tb *testbed.Testbed) {
+		truth := clock.NewTrue(testbed.Epoch, tb.Sched.Now)
+		m := nitz.NewManager(tb.TNClock, nil, nitz.ManagerConfig{NITZAvailable: true})
+		src := nitz.NewSource(tb.Sched, truth, nitz.SourceConfig{
+			MeanBoundaryInterval: 5 * time.Hour, Seed: 7,
+		})
+		src.Run(twoDays, m.OnNITZ)
+	})
+	fmt.Printf("  NITZ only:            mean %8.0f ms   p95 %8.0f ms   max %8.0f ms\n",
+		nitzSum.Mean, nitzSum.P95, nitzSum.Max)
+
+	// Policy 2: no NITZ — the Android fallback (SNTP once a day,
+	// 3 retries, update only if off by > 5 s).
+	androidSum := run(func(tb *testbed.Testbed) {
+		tb.Sched.Go(func(p *netsim.Proc) {
+			tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+			cl := sntp.New(tb.TNClock, tr, p, sntp.AndroidConfig(testbed.PoolName))
+			m := nitz.NewManager(tb.TNClock, cl, nitz.ManagerConfig{NITZAvailable: false})
+			m.RunFallback(p, twoDays)
+		})
+	})
+	fmt.Printf("  Android SNTP daily:   mean %8.0f ms   p95 %8.0f ms   max %8.0f ms\n",
+		androidSum.Mean, androidSum.P95, androidSum.Max)
+
+	// Policy 3: MNTP with clock updates and drift correction.
+	mntpSum := run(func(tb *testbed.Testbed) {
+		tb.Sched.Go(func(p *netsim.Proc) {
+			tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+			params := core.DefaultParams(testbed.PoolName)
+			c := core.New(tb.TNClock, sysclock.SimAdjuster{Clock: tb.TNClock},
+				tr, tb.Hints, p, params)
+			c.Run(twoDays)
+		})
+	})
+	fmt.Printf("  MNTP:                 mean %8.0f ms   p95 %8.0f ms   max %8.0f ms\n",
+		mntpSum.Mean, mntpSum.P95, mntpSum.Max)
+
+	fmt.Println()
+	fmt.Println("NITZ and the Android policy hold the clock within *seconds* (their 5s")
+	fmt.Println("threshold is the design goal); MNTP holds it within tens to hundreds")
+	fmt.Println("of milliseconds — bounded by the 4G path asymmetry, not the policy.")
+}

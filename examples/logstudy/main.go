@@ -1,0 +1,54 @@
+// Logstudy: the §3.1 measurement pipeline in miniature — generate a
+// small synthetic pcap for one NTP server, analyze it back, and print
+// the provider latency/protocol structure the paper's Figures 1 and 2
+// are built from.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"mntp/internal/ipasn"
+	"mntp/internal/ntplog"
+	"mntp/internal/report"
+)
+
+func main() {
+	reg := ipasn.NewRegistry()
+	prof, _ := ntplog.ProfileByID("SU1")
+
+	// Generate: real pcap bytes with real NTP packets.
+	var trace bytes.Buffer
+	clients, requests, err := ntplog.Generate(&trace, prof, reg, ntplog.GenConfig{
+		Scale: 1.0 / 40, // ~530 clients for a quick demo
+		Seed:  2016,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s-style capture: %d clients, %d requests, %d bytes of pcap\n\n",
+		prof.ID, clients, requests, trace.Len())
+
+	// Analyze: parse packets, extract OWDs, filter unsynchronized
+	// clients, classify providers and protocols.
+	rep, err := ntplog.Analyze(&trace, reg, ntplog.AnalyzeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Table1Row(prof.ID).String())
+	fmt.Printf("valid clients after filtering: %d/%d, server-wide SNTP share %.1f%%\n\n",
+		len(rep.ValidClients()), rep.UniqueClients(), rep.ProtocolShare()*100)
+
+	t := report.NewTable("Provider", "Category", "Clients", "SNTP%", "MedianMinOWD(ms)")
+	for _, agg := range rep.ByProvider() {
+		if agg.Clients < 5 {
+			continue
+		}
+		t.AddRow(agg.Provider.Name, agg.Provider.Category.String(),
+			agg.Clients, agg.SNTPShare()*100, agg.Summary().Median)
+	}
+	fmt.Println(t.String())
+	fmt.Println("Note the four latency classes (cloud ≈40ms, ISP ≈50ms, broadband")
+	fmt.Println("≈250ms, mobile ≈400–600ms) and the ≥95% SNTP share of mobile carriers.")
+}

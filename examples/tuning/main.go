@@ -1,0 +1,48 @@
+// Tuning: collect a §5.3 logging trace on the simulated testbed, then
+// run the tuner — first the paper's six Table 2 configurations, then a
+// small grid search for a better one.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mntp/internal/report"
+	"mntp/internal/testbed"
+	"mntp/internal/tuner"
+)
+
+func main() {
+	// Logger: SNTP offsets from three pool references every 5 s for
+	// four hours of virtual time, channel stressed by the monitor.
+	tb := testbed.New(testbed.Config{Seed: 53, Access: testbed.Wireless, Monitor: true})
+	sources := []string{testbed.PoolName, testbed.PoolName, testbed.PoolName}
+	trace := tuner.Collect(tb, sources, 5*time.Second, 4*time.Hour)
+	fmt.Printf("collected %d records (%.0f minutes of virtual time)\n\n",
+		len(trace.Records), trace.Records[len(trace.Records)-1].Elapsed.Minutes())
+
+	// Emulator: replay MNTP under the paper's sample configurations.
+	t := report.NewTable("Config", "warmup(min)", "warmupWait(min)",
+		"regularWait(min)", "reset(min)", "RMSE(ms)", "Requests")
+	for _, cfg := range tuner.Table2Configs() {
+		res := tuner.Emulate(trace, cfg.Params())
+		t.AddRow(cfg.Name, cfg.WarmupMin, cfg.WarmupWaitMin,
+			cfg.RegularWaitMin, cfg.ResetMin, res.RMSE, res.Requests)
+	}
+	fmt.Println("Table 2 configurations on this trace:")
+	fmt.Println(t.String())
+
+	// Searcher: a small grid beyond the paper's samples.
+	results := tuner.Search(trace, tuner.SearchSpace{
+		WarmupMin:      []float64{20, 40, 80},
+		WarmupWaitMin:  []float64{0.084, 0.25, 1},
+		RegularWaitMin: []float64{5, 15},
+		ResetMin:       []float64{240},
+	})
+	best := results[0]
+	fmt.Printf("grid search over %d configurations — best: warmup=%.0fmin "+
+		"warmupWait=%.2fmin regularWait=%.0fmin -> RMSE %.2fms with %d requests\n",
+		len(results),
+		best.Params.WarmupPeriod.Minutes(), best.Params.WarmupWaitTime.Minutes(),
+		best.Params.RegularWaitTime.Minutes(), best.RMSE, best.Requests)
+}

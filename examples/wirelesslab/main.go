@@ -1,0 +1,70 @@
+// Wirelesslab: the Figure 6/7 laboratory experiment end to end, with
+// the signals-and-selection view — watch MNTP defer requests when the
+// channel degrades and reject offsets that stray from the drift trend.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mntp/internal/core"
+	"mntp/internal/netsim"
+	"mntp/internal/report"
+	"mntp/internal/testbed"
+)
+
+func main() {
+	tb := testbed.New(testbed.Config{
+		Seed: 7, Access: testbed.Wireless, Monitor: true, NTPCorrection: true,
+	})
+
+	params := core.DefaultParams(testbed.PoolName)
+	params.WarmupPeriod = 10 * time.Minute
+	params.WarmupWaitTime = 5 * time.Second
+	params.RegularWaitTime = 5 * time.Second
+	params.ResetPeriod = 2 * time.Hour
+
+	// Run MNTP directly (rather than through testbed.RunMNTP) to show
+	// the event stream API.
+	var events []core.Event
+	tb.Sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+		c := core.New(tb.TNClock, nil, tr, tb.Hints, p, params)
+		c.OnEvent = func(e core.Event) { events = append(events, e) }
+		c.Run(time.Hour)
+	})
+	tb.Sched.Run()
+
+	// Signals plot: RSSI and noise at every attempt (Figure 7).
+	sig := report.NewPlot("Signals at each synchronization attempt", "minutes", "dBm")
+	var rssiX, rssiY, noiseX, noiseY []float64
+	counts := map[core.EventKind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+		x := e.Elapsed.Minutes()
+		rssiX, rssiY = append(rssiX, x), append(rssiY, e.Hints.RSSI)
+		noiseX, noiseY = append(noiseX, x), append(noiseY, e.Hints.Noise)
+	}
+	sig.Add(report.Series{Name: "rssi", Marker: '.', X: rssiX, Y: rssiY})
+	sig.Add(report.Series{Name: "noise", Marker: 'n', X: noiseX, Y: noiseY})
+	fmt.Println(sig.String())
+
+	// Selection plot: accepted vs rejected offsets (Figure 6).
+	sel := report.NewPlot("MNTP offset selection", "minutes", "offset (ms)")
+	var ax, ay, jx, jy []float64
+	for _, e := range events {
+		switch e.Kind {
+		case core.EventAccepted:
+			ax, ay = append(ax, e.Elapsed.Minutes()), append(ay, e.Offset.Seconds()*1000)
+		case core.EventRejected:
+			jx, jy = append(jx, e.Elapsed.Minutes()), append(jy, e.Offset.Seconds()*1000)
+		}
+	}
+	sel.Add(report.Series{Name: "accepted", Marker: 'o', X: ax, Y: ay})
+	sel.Add(report.Series{Name: "rejected", Marker: 'r', X: jx, Y: jy})
+	fmt.Println(sel.String())
+
+	fmt.Printf("events: %d accepted, %d rejected by the filter, %d deferred by the gate, %d failed\n",
+		counts[core.EventAccepted], counts[core.EventRejected],
+		counts[core.EventDeferred], counts[core.EventQueryFailed])
+}

@@ -1,0 +1,3 @@
+module mntp
+
+go 1.22

@@ -1,0 +1,185 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2016, 11, 14, 0, 0, 0, 0, time.UTC)
+
+// manualTime is a controllable true-time source.
+type manualTime struct{ t time.Duration }
+
+func (m *manualTime) now() time.Duration { return m.t }
+
+func TestTrueClockExact(t *testing.T) {
+	mt := &manualTime{}
+	c := NewTrue(epoch, mt.now)
+	if !c.Now().Equal(epoch) {
+		t.Error("true clock at t=0 should be epoch")
+	}
+	mt.t = 90 * time.Minute
+	if !c.Now().Equal(epoch.Add(90 * time.Minute)) {
+		t.Error("true clock should track exactly")
+	}
+}
+
+func TestSimInitialOffset(t *testing.T) {
+	mt := &manualTime{}
+	cfg := Config{InitialOffset: 250 * time.Millisecond, Seed: 1}
+	c := NewSim(cfg, epoch, mt.now)
+	if got := c.TrueOffset(); got != 250*time.Millisecond {
+		t.Errorf("initial offset = %v", got)
+	}
+}
+
+func TestSimConstantSkew(t *testing.T) {
+	mt := &manualTime{}
+	cfg := Config{SkewPPM: 20, Seed: 1} // no wander, no temperature
+	c := NewSim(cfg, epoch, mt.now)
+	mt.t = time.Hour
+	// 20 ppm over 1 h = 72 ms.
+	got := c.TrueOffset()
+	want := 72 * time.Millisecond
+	if d := got - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("1h skew offset = %v, want ~%v", got, want)
+	}
+}
+
+func TestSimStep(t *testing.T) {
+	mt := &manualTime{}
+	c := NewSim(Config{Seed: 1}, epoch, mt.now)
+	c.Step(-30 * time.Millisecond)
+	if got := c.TrueOffset(); got != -30*time.Millisecond {
+		t.Errorf("after step, offset = %v", got)
+	}
+}
+
+func TestSimFreqCorrectionCancelsSkew(t *testing.T) {
+	mt := &manualTime{}
+	cfg := Config{SkewPPM: 20, Seed: 1}
+	c := NewSim(cfg, epoch, mt.now)
+	c.AdjustFreq(-20e-6)
+	if got := c.FreqCorrection(); got != -20e-6 {
+		t.Errorf("FreqCorrection = %v", got)
+	}
+	mt.t = 4 * time.Hour
+	got := c.TrueOffset()
+	if got < -time.Millisecond || got > time.Millisecond {
+		t.Errorf("corrected clock drifted %v over 4h", got)
+	}
+}
+
+func TestSimWanderIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) time.Duration {
+		mt := &manualTime{}
+		c := NewSim(Config{WanderPPMPerSqrtHour: 5, Seed: seed}, epoch, mt.now)
+		mt.t = 2 * time.Hour
+		return c.TrueOffset()
+	}
+	if run(7) != run(7) {
+		t.Error("same seed must give identical wander")
+	}
+	if run(7) == run(8) {
+		t.Error("different seeds should give different wander")
+	}
+}
+
+func TestSimWanderIndependentOfQueryPattern(t *testing.T) {
+	// Querying every second vs once at the end must integrate the same
+	// noise path (fixed-quantum integration).
+	one := func() time.Duration {
+		mt := &manualTime{}
+		c := NewSim(Config{WanderPPMPerSqrtHour: 5, Seed: 3}, epoch, mt.now)
+		mt.t = 10 * time.Minute
+		return c.TrueOffset()
+	}()
+	many := func() time.Duration {
+		mt := &manualTime{}
+		c := NewSim(Config{WanderPPMPerSqrtHour: 5, Seed: 3}, epoch, mt.now)
+		for s := time.Duration(1); s <= 600; s++ {
+			mt.t = s * time.Second
+			c.Now()
+		}
+		return c.TrueOffset()
+	}()
+	if one != many {
+		t.Errorf("query-pattern dependence: %v vs %v", one, many)
+	}
+}
+
+func TestSimTemperatureModulation(t *testing.T) {
+	mt := &manualTime{}
+	cfg := Config{
+		TempCoeffPPMPerC: 1, TempAmplitudeC: 10, TempPeriod: time.Hour, Seed: 1,
+	}
+	c := NewSim(cfg, epoch, mt.now)
+	// Over one full period the sinusoid integrates to ~zero; at the
+	// quarter period the integral is maximal. Just assert the effect
+	// exists and is bounded.
+	mt.t = 15 * time.Minute
+	quarter := c.TrueOffset()
+	if quarter == 0 {
+		t.Error("temperature term had no effect")
+	}
+	// Max possible: 10 ppm for 900 s = 9 ms.
+	if d := quarter; d < -9*time.Millisecond || d > 9*time.Millisecond {
+		t.Errorf("temperature effect out of bounds: %v", d)
+	}
+}
+
+func TestFixedClock(t *testing.T) {
+	mt := &manualTime{}
+	f := &Fixed{Base: NewTrue(epoch, mt.now), Error: 100 * time.Millisecond}
+	if got := f.Now().Sub(epoch); got != 100*time.Millisecond {
+		t.Errorf("fixed error = %v", got)
+	}
+}
+
+func TestNowMonotoneUnderForwardTrueTime(t *testing.T) {
+	mt := &manualTime{}
+	c := NewSim(DefaultConfig(9), epoch, mt.now)
+	prev := c.Now()
+	for s := 1; s <= 300; s++ {
+		mt.t = time.Duration(s) * time.Second
+		cur := c.Now()
+		if cur.Before(prev) {
+			t.Fatalf("clock went backwards at %ds: %v < %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// Property: for a drift-free, noise-free clock, Now() == epoch+true for
+// any query time.
+func TestQuickPerfectClockIdentity(t *testing.T) {
+	f := func(secs uint16) bool {
+		mt := &manualTime{t: time.Duration(secs) * time.Second}
+		c := NewSim(Config{Seed: 1}, epoch, mt.now)
+		return c.Now().Equal(epoch.Add(mt.t))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: offset error grows linearly with skew: doubling elapsed
+// time doubles the accumulated offset (no wander configured).
+func TestQuickSkewLinearity(t *testing.T) {
+	f := func(ppmRaw uint8, minutes uint8) bool {
+		ppm := float64(ppmRaw%100) + 1
+		m := time.Duration(minutes%120+1) * time.Minute
+		mt := &manualTime{}
+		c := NewSim(Config{SkewPPM: ppm, Seed: 1}, epoch, mt.now)
+		mt.t = m
+		first := c.TrueOffset().Seconds()
+		mt.t = 2 * m
+		second := c.TrueOffset().Seconds()
+		return math.Abs(second-2*first) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/exchange"
+	"mntp/internal/hints"
+	"mntp/internal/ntppkt"
+	"mntp/internal/sysclock"
+)
+
+// Params are MNTP's tunables: the four timing parameters of
+// Algorithm 1 (the subject of the §5.3 tuner study), the channel
+// thresholds, and the ablation switches used by the evaluation.
+type Params struct {
+	// WarmupPeriod is the duration of the warm-up phase.
+	WarmupPeriod time.Duration
+	// WarmupWaitTime is the interval between warm-up requests.
+	WarmupWaitTime time.Duration
+	// RegularWaitTime is the interval between regular-phase requests.
+	RegularWaitTime time.Duration
+	// ResetPeriod is the total duration of warm-up plus regular
+	// phases; when it elapses the algorithm restarts at step 1.
+	ResetPeriod time.Duration
+
+	// Thresholds gate request emission (§4.2 baselines by default).
+	Thresholds hints.Thresholds
+	// WarmupServers are the multiple references of the warm-up phase
+	// (the paper uses 0/1/3.pool.ntp.org).
+	WarmupServers []string
+	// RegularServer is the single reference of the regular phase.
+	RegularServer string
+	// HintPollInterval is how long to wait before re-checking an
+	// unfavorable channel (default 1 s).
+	HintPollInterval time.Duration
+	// ResidualFloor is the filter's minimum tolerated prediction
+	// error (default 3 ms).
+	ResidualFloor time.Duration
+	// MinTrendSamples is how many samples the filter accepts
+	// unconditionally before gating (default 3; the paper records 10
+	// warm-up offsets before trusting the trend).
+	MinTrendSamples int
+	// MaxSampleDelay rejects samples whose round-trip delay exceeds
+	// it. The four-timestamp algebra bounds a sample's offset error
+	// by δ/2, so a high-delay sample is untrustworthy regardless of
+	// the trend — this guards the trend-less start of each cycle,
+	// where the least-squares filter cannot yet reject anything.
+	// Zero (the default) selects an adaptive gate of
+	// 3·minDelay + 30 ms relative to the smallest delay seen this
+	// cycle, which tracks the path's floor on WiFi and cellular alike
+	// — the same philosophy as NTP's delay-based sample selection
+	// (which §4.2 invokes).
+	MaxSampleDelay time.Duration
+	// Version is the NTP version in requests (default 4).
+	Version uint8
+
+	// DisableDriftCorrection skips correctSystemClockDrift — the
+	// paper's head-to-head baseline experiments (§5.1) switch drift
+	// correction off.
+	DisableDriftCorrection bool
+	// DisableClockUpdates makes MNTP measurement-only: accepted
+	// offsets are reported but never applied to the clock (the mode
+	// the paper's §5.1 comparisons run in). Forced on when the client
+	// is constructed without an adjuster.
+	DisableClockUpdates bool
+	// DisableGating sends requests regardless of channel state
+	// (ablation: isolates the filter's contribution).
+	DisableGating bool
+	// DisableFilter accepts every offset (ablation: isolates the
+	// gating's contribution).
+	DisableFilter bool
+	// DisableFalseTickerRejection keeps every warm-up source
+	// (ablation).
+	DisableFalseTickerRejection bool
+}
+
+// DefaultParams returns the configuration of the paper's baseline
+// evaluation (§5.1): requests every 5 s for head-to-head comparison,
+// with configuration 2 of Table 2 providing the phase structure.
+func DefaultParams(pool string) Params {
+	return Params{
+		WarmupPeriod:    40 * time.Minute,
+		WarmupWaitTime:  15 * time.Second,
+		RegularWaitTime: 15 * time.Minute,
+		ResetPeriod:     240 * time.Minute,
+		Thresholds:      hints.Default(),
+		WarmupServers:   []string{pool, pool, pool},
+		RegularServer:   pool,
+	}
+}
+
+func (p *Params) applyDefaults() {
+	if p.HintPollInterval == 0 {
+		p.HintPollInterval = time.Second
+	}
+	if p.ResidualFloor == 0 {
+		p.ResidualFloor = 3 * time.Millisecond
+	}
+	if p.Version == 0 {
+		p.Version = ntppkt.Version4
+	}
+	if p.MinTrendSamples == 0 {
+		p.MinTrendSamples = 3
+	}
+	if (p.Thresholds == hints.Thresholds{}) {
+		p.Thresholds = hints.Default()
+	}
+}
+
+// Phase identifies which part of Algorithm 1 produced an event.
+type Phase int
+
+const (
+	// PhaseWarmup is steps 4–14 (multi-source, no clock updates).
+	PhaseWarmup Phase = iota
+	// PhaseRegular is steps 16–26 (single source, clock updates).
+	PhaseRegular
+)
+
+// String renders the phase name.
+func (p Phase) String() string {
+	if p == PhaseWarmup {
+		return "warmup"
+	}
+	return "regular"
+}
+
+// EventKind classifies what happened to one synchronization attempt.
+type EventKind int
+
+const (
+	// EventAccepted: the offset passed the filter (and, in the
+	// regular phase, was applied to the clock).
+	EventAccepted EventKind = iota
+	// EventRejected: the filter discarded the offset as an outlier.
+	EventRejected
+	// EventDeferred: the channel was unfavorable; no request was sent.
+	EventDeferred
+	// EventQueryFailed: the request was sent but no valid reply
+	// arrived (loss/timeout/KoD).
+	EventQueryFailed
+	// EventFalseTicker: a warm-up source was rejected as a false
+	// ticker (one event per rejected source).
+	EventFalseTicker
+	// EventDriftCorrected: the regular phase applied a frequency
+	// correction from the estimated drift.
+	EventDriftCorrected
+)
+
+// String renders the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAccepted:
+		return "accepted"
+	case EventRejected:
+		return "rejected"
+	case EventDeferred:
+		return "deferred"
+	case EventQueryFailed:
+		return "query-failed"
+	case EventFalseTicker:
+		return "false-ticker"
+	case EventDriftCorrected:
+		return "drift-corrected"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable step of the algorithm; experiments record
+// these to draw the paper's figures.
+type Event struct {
+	Elapsed   time.Duration // client-clock time since Run started
+	Phase     Phase
+	Kind      EventKind
+	Offset    time.Duration // reported offset (Accepted/Rejected/FalseTicker)
+	Predicted time.Duration // trend-line prediction, if available
+	PredOK    bool
+	Hints     hints.Hints // channel reading at the attempt
+	Requests  int         // cumulative requests emitted
+	Drift     float64     // current drift estimate (s/s), if any
+}
+
+// Sleeper abstracts waiting (netsim.Proc in simulation,
+// sntp.WallSleeper in deployments).
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Client runs MNTP (Algorithm 1) over a transport, clock, hint
+// provider and adjuster.
+type Client struct {
+	Clock     clock.Clock
+	Adjuster  sysclock.Adjuster // Noop for measurement-only runs
+	Transport exchange.Transport
+	Hints     hints.Provider
+	Sleeper   Sleeper
+	Params    Params
+	// OnEvent observes every step (may be nil).
+	OnEvent func(Event)
+	// Tuner, when non-nil, adjusts Params between reset cycles
+	// (self-tuning, the paper's §7 future work).
+	Tuner Tuner
+
+	filter   *Filter
+	minDelay time.Duration // smallest delay seen this cycle (0 = none)
+	start    time.Time
+	requests int
+	freqCorr float64
+	cycle    CycleStats
+	cycleSq  float64 // sum of squared corrected residuals (ms²)
+	cycleN   int
+}
+
+// New creates an MNTP client with defaults applied.
+func New(clk clock.Clock, adj sysclock.Adjuster, tr exchange.Transport,
+	hp hints.Provider, sl Sleeper, params Params) *Client {
+	params.applyDefaults()
+	if adj == nil {
+		adj = sysclock.Noop{}
+		// Without a real adjuster nothing actually moves the clock;
+		// treating a no-op step as applied would silently corrupt the
+		// filter history.
+		params.DisableClockUpdates = true
+		params.DisableDriftCorrection = true
+	}
+	return &Client{
+		Clock: clk, Adjuster: adj, Transport: tr, Hints: hp, Sleeper: sl,
+		Params: params,
+	}
+}
+
+// Requests returns the number of SNTP requests emitted so far.
+func (c *Client) Requests() int { return c.requests }
+
+// DriftEstimate returns the current drift estimate.
+func (c *Client) DriftEstimate() (float64, bool) {
+	if c.filter == nil {
+		return 0, false
+	}
+	return c.filter.Drift()
+}
+
+// Run executes Algorithm 1 for the given total duration (measured on
+// the client clock), cycling warm-up → regular → reset as the reset
+// period elapses.
+func (c *Client) Run(total time.Duration) {
+	c.start = c.Clock.Now()
+	for c.elapsed() < total {
+		c.runCycle(total)
+	}
+}
+
+func (c *Client) elapsed() time.Duration { return c.Clock.Now().Sub(c.start) }
+
+// runCycle is one reset period: a warm-up phase followed by a regular
+// phase (steps 1–26 of Algorithm 1).
+func (c *Client) runCycle(total time.Duration) {
+	cycleStart := c.elapsed()
+	p := &c.Params
+
+	// Step 1–3: fresh state.
+	c.filter = NewFilter(p.ResidualFloor, p.MinTrendSamples)
+	c.minDelay = 0
+	startRequests := c.requests
+	c.cycle = CycleStats{}
+	c.cycleSq, c.cycleN = 0, 0
+
+	// Warm-up phase (steps 4–14).
+	for c.elapsed()-cycleStart < p.WarmupPeriod && c.elapsed() < total {
+		h, ok := c.waitFavorable(PhaseWarmup, total)
+		if !ok {
+			return // ran out of experiment time while deferred
+		}
+		c.warmupRound(h)
+		c.Sleeper.Sleep(p.WarmupWaitTime)
+	}
+
+	// Step 16: correct the system clock drift from the estimate. A
+	// positive trend slope means the measured offset grows — the
+	// local clock runs slow relative to the references — so the
+	// frequency correction is +slope. The estimate is applied only
+	// when it is statistically meaningful (slope standard error below
+	// the tolerance) and physically plausible (cumulative correction
+	// within oscillator bounds); a warm-up that accepted too few
+	// samples can otherwise fit a wildly wrong slope and send the
+	// clock careening.
+	if est, se, ok := c.filter.DriftWithError(); ok &&
+		!p.DisableDriftCorrection && !p.DisableClockUpdates &&
+		se <= maxDriftStdErr && plausibleFreq(c.freqCorr+est) {
+		c.freqCorr += est
+		if err := c.Adjuster.AdjustFreq(c.freqCorr); err == nil {
+			c.filter.ApplyFreq(est, c.elapsed())
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseRegular,
+				Kind: EventDriftCorrected, Drift: est, Requests: c.requests,
+			})
+		}
+	}
+
+	// Regular phase (steps 17–26).
+	for c.elapsed()-cycleStart < p.ResetPeriod && c.elapsed() < total {
+		h, ok := c.waitFavorable(PhaseRegular, total)
+		if !ok {
+			return
+		}
+		c.regularRound(h)
+		c.Sleeper.Sleep(p.RegularWaitTime)
+	}
+	// Step 23–24: reset period elapsed → restart at step 1.
+	if c.Tuner != nil {
+		st := c.cycle
+		st.Requests = c.requests - startRequests
+		st.CycleLength = c.elapsed() - cycleStart
+		if c.cycleN > 0 {
+			st.ResidRMSE = sqrtMs(c.cycleSq / float64(c.cycleN))
+		}
+		c.Params = c.Tuner.Adjust(st, c.Params)
+		c.Params.applyDefaults()
+	}
+}
+
+// maxDriftStdErr is the largest slope standard error (s/s) accepted
+// for a drift correction: 25 ppm of uncertainty on commodity crystals
+// whose total error is tens of ppm.
+const maxDriftStdErr = 25e-6
+
+// maxFreqCorrection bounds the cumulative frequency correction, like
+// ntpd's 500 ppm clamp (kept tighter here: no sane oscillator needs
+// more than ±300 ppm).
+const maxFreqCorrection = 300e-6
+
+func plausibleFreq(f float64) bool {
+	return f >= -maxFreqCorrection && f <= maxFreqCorrection
+}
+
+func sqrtMs(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	// v is in ms²; return ms.
+	return math.Sqrt(v)
+}
+
+// waitFavorable blocks until the channel satisfies the thresholds
+// (step 5/17), emitting a Deferred event per unfavorable reading. It
+// returns false if the total experiment time expired while waiting.
+func (c *Client) waitFavorable(phase Phase, total time.Duration) (hints.Hints, bool) {
+	for {
+		h := c.Hints.Hints()
+		if c.Params.DisableGating || c.Params.Thresholds.Favorable(h) {
+			return h, true
+		}
+		c.emit(Event{
+			Elapsed: c.elapsed(), Phase: phase, Kind: EventDeferred,
+			Hints: h, Requests: c.requests,
+		})
+		if c.elapsed() >= total {
+			return h, false
+		}
+		c.Sleeper.Sleep(c.Params.HintPollInterval)
+	}
+}
+
+// favorableNow re-reads the hints and reports whether the channel
+// still satisfies the thresholds. The gate is checked before every
+// individual request and re-checked after each response: a sample
+// whose exchange straddled a channel degradation is discarded, since
+// its delay (and hence offset) may already reflect the degraded
+// channel the thresholds exist to avoid.
+func (c *Client) favorableNow() (hints.Hints, bool) {
+	h := c.Hints.Hints()
+	return h, c.Params.DisableGating || c.Params.Thresholds.Favorable(h)
+}
+
+// warmupRound queries the multiple warm-up references, rejects false
+// tickers, and offers the combined offset to the filter (steps 6–9).
+// No clock update happens during warm-up.
+func (c *Client) warmupRound(h hints.Hints) {
+	var samples []exchange.Sample
+	for _, server := range c.Params.WarmupServers {
+		if hh, ok := c.favorableNow(); !ok {
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseWarmup,
+				Kind: EventDeferred, Hints: hh, Requests: c.requests,
+			})
+			continue
+		}
+		c.requests++
+		s, err := exchange.Measure(c.Clock, c.Transport, server, c.Params.Version, true)
+		if err != nil {
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseWarmup,
+				Kind: EventQueryFailed, Hints: h, Requests: c.requests,
+			})
+			continue
+		}
+		if !c.delayAcceptable(s.Delay) {
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventRejected,
+				Offset: s.Offset, Hints: h, Requests: c.requests,
+			})
+			continue
+		}
+		if hh, ok := c.favorableNow(); !ok {
+			// The channel degraded during the exchange: the sample is
+			// suspect; drop it.
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseWarmup,
+				Kind: EventDeferred, Hints: hh, Requests: c.requests,
+			})
+			continue
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) == 0 {
+		return
+	}
+
+	kept := samples
+	if !c.Params.DisableFalseTickerRejection {
+		var rejected []exchange.Sample
+		kept, rejected = RejectFalseTickers(samples)
+		for _, r := range rejected {
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventFalseTicker,
+				Offset: r.Offset, Hints: h, Requests: c.requests,
+			})
+		}
+	}
+	offset := CombineOffsets(kept)
+	c.offer(PhaseWarmup, offset, h, false)
+}
+
+// regularRound queries the single regular reference and, on
+// acceptance, corrects the system clock (steps 18–21).
+func (c *Client) regularRound(h hints.Hints) {
+	c.requests++
+	s, err := exchange.Measure(c.Clock, c.Transport, c.Params.RegularServer, c.Params.Version, true)
+	if err != nil {
+		c.emit(Event{
+			Elapsed: c.elapsed(), Phase: PhaseRegular,
+			Kind: EventQueryFailed, Hints: h, Requests: c.requests,
+		})
+		return
+	}
+	if !c.delayAcceptable(s.Delay) {
+		c.emit(Event{
+			Elapsed: c.elapsed(), Phase: PhaseRegular, Kind: EventRejected,
+			Offset: s.Offset, Hints: h, Requests: c.requests,
+		})
+		return
+	}
+	if hh, ok := c.favorableNow(); !ok {
+		c.emit(Event{
+			Elapsed: c.elapsed(), Phase: PhaseRegular,
+			Kind: EventDeferred, Hints: hh, Requests: c.requests,
+		})
+		return
+	}
+	c.offer(PhaseRegular, s.Offset, h, true)
+}
+
+// offer pushes an offset through the filter, emits the event, and in
+// the regular phase applies accepted offsets to the clock.
+func (c *Client) offer(phase Phase, offset time.Duration, h hints.Hints, update bool) {
+	elapsed := c.elapsed()
+	var accepted bool
+	var pred time.Duration
+	var predOK bool
+	if c.Params.DisableFilter {
+		accepted = true
+		// Still feed the trend so drift estimation works.
+		c.filter.fitter.Add(elapsed.Seconds(), offset.Seconds())
+	} else {
+		accepted, pred, predOK = c.filter.Offer(elapsed, offset)
+	}
+
+	kind := EventAccepted
+	if !accepted {
+		kind = EventRejected
+	}
+	if accepted && predOK {
+		d := (offset - pred).Seconds() * 1000
+		c.cycleSq += d * d
+		c.cycleN++
+	}
+	drift, _ := c.filter.Drift()
+	c.emit(Event{
+		Elapsed: elapsed, Phase: phase, Kind: kind,
+		Offset: offset, Predicted: pred, PredOK: predOK,
+		Hints: h, Requests: c.requests, Drift: drift,
+	})
+
+	if accepted && update && !c.Params.DisableClockUpdates {
+		if err := c.Adjuster.Step(offset); err == nil {
+			c.filter.ApplyStep(offset)
+		}
+	}
+}
+
+// delayAcceptable applies the delay sanity gate and updates the
+// per-cycle minimum. The first sample of a cycle always passes and
+// anchors the gate.
+func (c *Client) delayAcceptable(d time.Duration) bool {
+	if c.minDelay == 0 || d < c.minDelay {
+		c.minDelay = d
+		return true
+	}
+	gate := c.Params.MaxSampleDelay
+	if gate == 0 {
+		gate = 3*c.minDelay + 30*time.Millisecond
+	}
+	return d <= gate
+}
+
+func (c *Client) emit(e Event) {
+	switch e.Kind {
+	case EventAccepted:
+		c.cycle.Accepted++
+	case EventRejected:
+		c.cycle.Rejected++
+	case EventDeferred:
+		c.cycle.Deferred++
+	case EventQueryFailed:
+		c.cycle.Failed++
+	}
+	if c.OnEvent != nil {
+		c.OnEvent(e)
+	}
+}

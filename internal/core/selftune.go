@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// CycleStats summarizes one completed warm-up + regular cycle, the
+// feedback a between-cycle tuner adjusts parameters on.
+type CycleStats struct {
+	// Accepted/Rejected/Deferred/Failed count this cycle's events.
+	Accepted, Rejected, Deferred, Failed int
+	// Requests is the number of SNTP requests emitted this cycle.
+	Requests int
+	// ResidRMSE is the RMSE (ms) of accepted offsets' deviations from
+	// the trend line — the cycle's achieved synchronization quality,
+	// the same score the §5.3 tuner optimizes.
+	ResidRMSE float64
+	// CycleLength is how long the cycle ran.
+	CycleLength time.Duration
+}
+
+// Tuner adjusts MNTP parameters between reset cycles. §7 of the paper
+// names "self-tuning of parameter settings" as future work; attaching
+// a Tuner to the Client provides it.
+type Tuner interface {
+	Adjust(stats CycleStats, p Params) Params
+}
+
+// SelfTuner is a feedback controller over MNTP's two cadence
+// parameters: it shortens the regular wait when achieved quality
+// misses the target (more samples → tighter trend) and lengthens it
+// when quality is comfortably met (fewer requests → less energy,
+// trading along the Table 2 RMSE/requests curve automatically).
+type SelfTuner struct {
+	// TargetRMSE is the quality goal in ms (default 10, the middle of
+	// Table 2's range).
+	TargetRMSE float64
+	// MinRegularWait/MaxRegularWait clamp the adaptation
+	// (defaults 30 s and 30 min).
+	MinRegularWait, MaxRegularWait time.Duration
+	// MinWarmupWait/MaxWarmupWait clamp the warm-up cadence
+	// (defaults 5 s and 2 min).
+	MinWarmupWait, MaxWarmupWait time.Duration
+	// Adjustments counts applied changes (observability).
+	Adjustments int
+}
+
+// NewSelfTuner returns a tuner with defaults applied.
+func NewSelfTuner(targetRMSE float64) *SelfTuner {
+	if targetRMSE <= 0 {
+		targetRMSE = 10
+	}
+	return &SelfTuner{
+		TargetRMSE:     targetRMSE,
+		MinRegularWait: 30 * time.Second, MaxRegularWait: 30 * time.Minute,
+		MinWarmupWait: 5 * time.Second, MaxWarmupWait: 2 * time.Minute,
+	}
+}
+
+// Adjust implements Tuner.
+func (s *SelfTuner) Adjust(st CycleStats, p Params) Params {
+	if st.Accepted < 2 || math.IsNaN(st.ResidRMSE) {
+		// Starved cycle: sample more aggressively.
+		p.RegularWaitTime = clampDur(p.RegularWaitTime/2, s.MinRegularWait, s.MaxRegularWait)
+		p.WarmupWaitTime = clampDur(p.WarmupWaitTime/2, s.MinWarmupWait, s.MaxWarmupWait)
+		s.Adjustments++
+		return p
+	}
+	switch {
+	case st.ResidRMSE > 1.25*s.TargetRMSE:
+		// Missing the goal: halve the waits (denser sampling).
+		p.RegularWaitTime = clampDur(p.RegularWaitTime/2, s.MinRegularWait, s.MaxRegularWait)
+		p.WarmupWaitTime = clampDur(p.WarmupWaitTime/2, s.MinWarmupWait, s.MaxWarmupWait)
+		s.Adjustments++
+	case st.ResidRMSE < 0.5*s.TargetRMSE:
+		// Comfortably ahead: back off to save requests.
+		p.RegularWaitTime = clampDur(p.RegularWaitTime*2, s.MinRegularWait, s.MaxRegularWait)
+		p.WarmupWaitTime = clampDur(p.WarmupWaitTime*2, s.MinWarmupWait, s.MaxWarmupWait)
+		s.Adjustments++
+	}
+	return p
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

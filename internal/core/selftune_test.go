@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/hints"
+	"mntp/internal/netsim"
+)
+
+func TestSelfTunerSpeedsUpWhenMissingTarget(t *testing.T) {
+	s := NewSelfTuner(10)
+	p := Params{RegularWaitTime: 8 * time.Minute, WarmupWaitTime: time.Minute}
+	out := s.Adjust(CycleStats{Accepted: 50, ResidRMSE: 25}, p)
+	if out.RegularWaitTime != 4*time.Minute {
+		t.Errorf("regular wait = %v, want halved", out.RegularWaitTime)
+	}
+	if out.WarmupWaitTime != 30*time.Second {
+		t.Errorf("warmup wait = %v, want halved", out.WarmupWaitTime)
+	}
+	if s.Adjustments != 1 {
+		t.Errorf("adjustments = %d", s.Adjustments)
+	}
+}
+
+func TestSelfTunerBacksOffWhenComfortable(t *testing.T) {
+	s := NewSelfTuner(10)
+	p := Params{RegularWaitTime: 2 * time.Minute, WarmupWaitTime: 10 * time.Second}
+	out := s.Adjust(CycleStats{Accepted: 50, ResidRMSE: 2}, p)
+	if out.RegularWaitTime != 4*time.Minute {
+		t.Errorf("regular wait = %v, want doubled", out.RegularWaitTime)
+	}
+}
+
+func TestSelfTunerHoldsInBand(t *testing.T) {
+	s := NewSelfTuner(10)
+	p := Params{RegularWaitTime: 2 * time.Minute, WarmupWaitTime: 10 * time.Second}
+	out := s.Adjust(CycleStats{Accepted: 50, ResidRMSE: 10}, p)
+	if out.RegularWaitTime != p.RegularWaitTime || s.Adjustments != 0 {
+		t.Error("in-band cycle should not adjust")
+	}
+}
+
+func TestSelfTunerClamps(t *testing.T) {
+	s := NewSelfTuner(10)
+	p := Params{RegularWaitTime: s.MinRegularWait, WarmupWaitTime: s.MinWarmupWait}
+	out := s.Adjust(CycleStats{Accepted: 50, ResidRMSE: 100}, p)
+	if out.RegularWaitTime != s.MinRegularWait {
+		t.Errorf("regular wait went below clamp: %v", out.RegularWaitTime)
+	}
+	p2 := Params{RegularWaitTime: s.MaxRegularWait, WarmupWaitTime: s.MaxWarmupWait}
+	out2 := s.Adjust(CycleStats{Accepted: 50, ResidRMSE: 0.1}, p2)
+	if out2.RegularWaitTime != s.MaxRegularWait {
+		t.Errorf("regular wait exceeded clamp: %v", out2.RegularWaitTime)
+	}
+}
+
+func TestSelfTunerStarvedCycleSamplesMore(t *testing.T) {
+	s := NewSelfTuner(10)
+	p := Params{RegularWaitTime: 16 * time.Minute, WarmupWaitTime: time.Minute}
+	out := s.Adjust(CycleStats{Accepted: 0}, p)
+	if out.RegularWaitTime >= p.RegularWaitTime {
+		t.Error("starved cycle did not speed up sampling")
+	}
+}
+
+// Integration: a client with an absurdly sparse initial configuration
+// self-tunes toward denser sampling across cycles on a quiet channel
+// with a noisy trend (high RMSE).
+func TestClientSelfTunesAcrossCycles(t *testing.T) {
+	l := newLab(61, 0, clock.Config{SkewPPM: 18, Seed: 5})
+	params := DefaultParams("pool")
+	params.WarmupPeriod = 4 * time.Minute
+	params.WarmupWaitTime = 2 * time.Minute // sparse: few samples per cycle
+	params.RegularWaitTime = 30 * time.Minute
+	params.ResetPeriod = 10 * time.Minute
+	params.DisableClockUpdates = true
+	params.DisableDriftCorrection = true
+
+	tuner := NewSelfTuner(0.5) // aggressive target: forces speed-ups
+	var waits []time.Duration
+	l.sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: l.net, Proc: p, Clock: l.clk}
+		c := New(l.clk, nil, tr, hints.AlwaysFavorable, p, params)
+		c.Tuner = tuner
+		c.OnEvent = func(e Event) {
+			if e.Kind == EventAccepted {
+				waits = append(waits, c.Params.WarmupWaitTime)
+			}
+		}
+		c.Run(50 * time.Minute)
+	})
+	l.sched.Run()
+
+	if tuner.Adjustments == 0 {
+		t.Fatal("self-tuner never adjusted")
+	}
+	if len(waits) == 0 {
+		t.Fatal("no accepted samples")
+	}
+	first, last := waits[0], waits[len(waits)-1]
+	if last >= first {
+		t.Errorf("warmup wait did not shrink: first %v, last %v", first, last)
+	}
+}

@@ -1,0 +1,63 @@
+// Package driftfile persists frequency estimates between runs, the
+// way ntpd's driftfile does: a host that has synchronized before
+// starts its next session with the oscillator error already mostly
+// compensated, instead of re-learning it over the first hour. MNTP's
+// drift estimate and the full NTP client's frequency correction both
+// benefit; cmd/mntp persists the estimate on exit.
+//
+// The format is ntpd-compatible: a single line holding the frequency
+// in parts per million, e.g. "-17.346\n".
+package driftfile
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Load reads a drift file and returns the stored frequency correction
+// in seconds per second. A missing file returns (0, false, nil):
+// first run, nothing learned yet.
+func Load(path string) (correction float64, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("driftfile: read %s: %w", path, err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0, false, fmt.Errorf("driftfile: %s is empty", path)
+	}
+	ppm, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("driftfile: parse %s: %w", path, err)
+	}
+	if ppm < -500 || ppm > 500 {
+		// ntpd clamps at ±500 ppm; anything beyond is corruption.
+		return 0, false, fmt.Errorf("driftfile: implausible frequency %v ppm", ppm)
+	}
+	return ppm * 1e-6, true, nil
+}
+
+// Store writes the frequency correction (seconds per second)
+// atomically: write-to-temp then rename, so a crash never leaves a
+// torn file.
+func Store(path string, correction float64) error {
+	ppm := correction * 1e6
+	if ppm < -500 || ppm > 500 {
+		return fmt.Errorf("driftfile: refusing to store implausible frequency %v ppm", ppm)
+	}
+	tmp := path + ".tmp"
+	content := strconv.FormatFloat(ppm, 'f', 3, 64) + "\n"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("driftfile: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("driftfile: rename: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package driftfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift")
+	if err := Store(path, -17.346e-6); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := Load(path)
+	if err != nil || !ok {
+		t.Fatalf("load: %v ok=%v", err, ok)
+	}
+	if d := got + 17.346e-6; d < -1e-9 || d > 1e-9 {
+		t.Errorf("loaded %v, want -17.346ppm", got*1e6)
+	}
+}
+
+func TestMissingFileIsFirstRun(t *testing.T) {
+	_, ok, err := Load(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || ok {
+		t.Errorf("missing file: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNtpdFormatCompatible(t *testing.T) {
+	// ntpd writes e.g. "-17.346" possibly with trailing data.
+	path := filepath.Join(t.TempDir(), "drift")
+	if err := os.WriteFile(path, []byte("-17.346\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := Load(path)
+	if err != nil || !ok || got > 0 {
+		t.Fatalf("ntpd format: got=%v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty":       "",
+		"garbage":     "not-a-number\n",
+		"implausible": "9000\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		os.WriteFile(path, []byte(content), 0o644)
+		if _, _, err := Load(path); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestStoreRejectsImplausible(t *testing.T) {
+	if err := Store(filepath.Join(t.TempDir(), "d"), 1e-3); err == nil {
+		t.Error("1000ppm stored")
+	}
+}
+
+func TestStoreAtomicNoTempLeft(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "drift")
+	if err := Store(path, 10e-6); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+// Property: any plausible correction round-trips within the stored
+// precision (0.001 ppm).
+func TestQuickRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "drift")
+	f := func(raw int32) bool {
+		ppm := float64(raw%500000) / 1000 // ±500 ppm in millippm steps
+		if err := Store(path, ppm*1e-6); err != nil {
+			return false
+		}
+		got, ok, err := Load(path)
+		if err != nil || !ok {
+			return false
+		}
+		diff := got*1e6 - ppm
+		return diff > -0.001 && diff < 0.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

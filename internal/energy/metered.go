@@ -1,0 +1,32 @@
+package energy
+
+import (
+	"time"
+
+	"mntp/internal/ntppkt"
+)
+
+// innerTransport matches exchange.Transport without importing it
+// (avoids the dependency for this leaf package).
+type innerTransport interface {
+	Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error)
+}
+
+// MeteredTransport decorates a transport, recording every exchange as
+// radio activity on the meter. The same decorator wraps the simulated
+// and the UDP transports, so any client's energy footprint can be
+// measured without touching the client.
+type MeteredTransport struct {
+	Inner innerTransport
+	Meter *Meter
+	// Now supplies the virtual (or wall-relative) time of activity.
+	Now func() time.Duration
+}
+
+// Exchange implements the transport interface.
+func (m *MeteredTransport) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
+	start := m.Now()
+	resp, t4, err := m.Inner.Exchange(server, req)
+	m.Meter.Activity(start, m.Now()-start)
+	return resp, t4, err
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns fast options for tests.
+func quick() Options { return Options{Seed: 2016, Quick: true} }
+
+func findMetric(t *testing.T, o Outcome, name string) Metric {
+	t.Helper()
+	for _, m := range o.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("%s: metric %q missing (have %v)", o.ID, name, o.Metrics)
+	return Metric{}
+}
+
+func TestTable1(t *testing.T) {
+	o := Table1(quick())
+	if !strings.Contains(o.Text, "AG1") || !strings.Contains(o.Text, "SU1") {
+		t.Error("table missing servers")
+	}
+	if got := findMetric(t, o, "servers").Measured; got != 19 {
+		t.Errorf("servers = %v", got)
+	}
+	if findMetric(t, o, "largest server is MW2").Measured != 1 {
+		t.Error("client-count ordering lost (MW2 must be largest)")
+	}
+	if findMetric(t, o, "scaled measurements").Measured <= 0 {
+		t.Error("no measurements")
+	}
+}
+
+func TestFigure1CategoryOrdering(t *testing.T) {
+	o := Figure1(quick())
+	cloud := findMetric(t, o, "cloud median min-OWD").Measured
+	isp := findMetric(t, o, "isp median min-OWD").Measured
+	bb := findMetric(t, o, "broadband median min-OWD").Measured
+	mobile := findMetric(t, o, "mobile median min-OWD").Measured
+	if !(cloud < isp && isp < bb && bb < mobile) {
+		t.Errorf("category medians not ordered: %v %v %v %v", cloud, isp, bb, mobile)
+	}
+	if mobile < 300 {
+		t.Errorf("mobile median = %.0f, want ≳ 400", mobile)
+	}
+}
+
+func TestFigure2Shares(t *testing.T) {
+	o := Figure2(quick())
+	mobile := findMetric(t, o, "mobile providers mean SNTP share").Measured
+	if mobile < 85 {
+		t.Errorf("mobile SNTP share = %.1f%%, want ≥ 85%%", mobile)
+	}
+	pub := findMetric(t, o, "public servers mean SNTP share").Measured
+	isp := findMetric(t, o, "ISP-specific servers mean SNTP share").Measured
+	if pub < 50 {
+		t.Errorf("public SNTP share = %.1f%%, want majority", pub)
+	}
+	if isp > 50 {
+		t.Errorf("ISP-specific SNTP share = %.1f%%, want minority", isp)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	o := Figure3(quick())
+	if !strings.Contains(o.Text, "WAP") || !strings.Contains(o.Text, "MN") {
+		t.Error("topology description incomplete")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	o := Figure4(quick())
+	wlMean := findMetric(t, o, "wireless+NTP mean |offset|").Measured
+	wdMean := findMetric(t, o, "wired+NTP mean |offset|").Measured
+	if wlMean < 2*wdMean {
+		t.Errorf("wireless mean %.1f not ≫ wired %.1f", wlMean, wdMean)
+	}
+	// The with-vs-without-correction gap is driven by drift
+	// accumulation over the paper's full hour; at quick scale only a
+	// weak sanity bound holds (different seeds, ~20 ms of drift).
+	free := findMetric(t, o, "wireless free mean |offset|").Measured
+	if free < wlMean/2 {
+		t.Errorf("free-running mean %.1f implausibly below corrected %.1f", free, wlMean)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	o := Figure5(quick())
+	mean := findMetric(t, o, "mean |offset|").Measured
+	if mean < 100 || mean > 320 {
+		t.Errorf("cellular mean = %.1f, want in the paper's regime (~192)", mean)
+	}
+	if max := findMetric(t, o, "max").Measured; max < 400 {
+		t.Errorf("cellular max = %.1f, want > 400", max)
+	}
+}
+
+func TestFigure6Headline(t *testing.T) {
+	o := Figure6(quick())
+	s := findMetric(t, o, "SNTP max |offset|").Measured
+	m := findMetric(t, o, "MNTP max |offset|").Measured
+	imp := findMetric(t, o, "improvement factor").Measured
+	if m > 35 {
+		t.Errorf("MNTP max = %.1fms, want ≤ 35 (paper: 23)", m)
+	}
+	if s < 100 {
+		t.Errorf("SNTP max = %.1fms, want ≫ 100 (paper: 292)", s)
+	}
+	if imp < 3 {
+		t.Errorf("improvement = %.1fx, want ≥ 3 (paper: 12)", imp)
+	}
+}
+
+func TestFigure7HasSelections(t *testing.T) {
+	o := Figure7(quick())
+	if findMetric(t, o, "rejected offsets").Measured == 0 {
+		t.Error("no rejections recorded")
+	}
+	if findMetric(t, o, "deferred requests").Measured == 0 {
+		t.Error("no deferrals recorded")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	o := Figure8(quick())
+	m := findMetric(t, o, "MNTP max |corrected residual|").Measured
+	s := findMetric(t, o, "SNTP max |offset|").Measured
+	if m > 30 {
+		t.Errorf("MNTP corrected residual max = %.1f, want ≤ 30 (paper: 24)", m)
+	}
+	if s < 3*m {
+		t.Errorf("SNTP max %.1f not ≫ MNTP %.1f", s, m)
+	}
+}
+
+func TestFigure9And10(t *testing.T) {
+	o9 := Figure9(quick())
+	m := findMetric(t, o9, "MNTP(wireless) max |offset|").Measured
+	if m > 35 {
+		t.Errorf("fig9 MNTP max = %.1f", m)
+	}
+	o10 := Figure10(quick())
+	r := findMetric(t, o10, "MNTP(wireless) max |corrected residual|").Measured
+	if r > 35 {
+		t.Errorf("fig10 MNTP residual max = %.1f", r)
+	}
+}
+
+func TestFigure12LongRun(t *testing.T) {
+	o := Figure12(quick())
+	s := findMetric(t, o, "SNTP max |offset|").Measured
+	m := findMetric(t, o, "MNTP max |corrected residual|").Measured
+	if m > 30 {
+		t.Errorf("long-run MNTP residual = %.1f, want ≤ 30 (paper: <20)", m)
+	}
+	if s < 2*m {
+		t.Errorf("long-run SNTP %.1f not ≫ MNTP %.1f", s, m)
+	}
+}
+
+func TestTable2Tradeoff(t *testing.T) {
+	o := Table2(quick())
+	if findMetric(t, o, "RMSE improves config1->6").Measured != 1 {
+		t.Error("RMSE did not improve from config 1 to 6")
+	}
+	if findMetric(t, o, "requests grow config1->6").Measured != 1 {
+		t.Error("requests did not grow from config 1 to 6")
+	}
+	c1 := findMetric(t, o, "config 1 RMSE").Measured
+	if c1 <= 0 || c1 > 40 {
+		t.Errorf("config 1 RMSE = %.2f, out of plausible range", c1)
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	o := Figure11(quick())
+	best := findMetric(t, o, "best config RMSE").Measured
+	worst := findMetric(t, o, "worst config RMSE").Measured
+	if best > worst {
+		t.Errorf("best %.2f > worst %.2f", best, worst)
+	}
+}
+
+func TestMetricsTableRendering(t *testing.T) {
+	o := Figure3(quick())
+	tbl := o.MetricsTable()
+	if !strings.Contains(tbl, "metric") || !strings.Contains(tbl, "pool members") {
+		t.Errorf("metrics table:\n%s", tbl)
+	}
+}

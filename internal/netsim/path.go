@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Direction distinguishes the two directions of a path. One-way
+// delays are sampled independently per direction; their asymmetry is
+// exactly what corrupts SNTP offset estimates (offset error =
+// (uplink − downlink)/2).
+type Direction int
+
+const (
+	// Uplink is client → server.
+	Uplink Direction = iota
+	// Downlink is server → client.
+	Downlink
+)
+
+// PathModel produces per-packet one-way delays and losses. now is the
+// virtual time the packet enters the path. Implementations must be
+// deterministic given their seed and the sequence of calls.
+type PathModel interface {
+	SampleOneWay(now time.Duration, dir Direction) (delay time.Duration, lost bool)
+}
+
+// WiredPath models the paper's wired-network control scenario: a
+// stable path with a fixed base delay, light exponential jitter and
+// negligible loss. The paper finds SNTP offsets on such paths are
+// "always close to 0ms" when the clock is disciplined (§3.2).
+type WiredPath struct {
+	Base     time.Duration // one-way propagation + transmission
+	JitterMu time.Duration // mean of exponential jitter
+	// Asym shifts the two directions: uplink gets Base+Asym/2,
+	// downlink Base−Asym/2. Small constant asymmetry bounds the best
+	// achievable accuracy, per the paper's citation of [21].
+	Asym     time.Duration
+	LossProb float64
+	rng      *rand.Rand
+}
+
+// NewWiredPath creates a wired path model with the given seed.
+func NewWiredPath(base, jitterMu, asym time.Duration, lossProb float64, seed int64) *WiredPath {
+	return &WiredPath{
+		Base: base, JitterMu: jitterMu, Asym: asym, LossProb: lossProb,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SampleOneWay implements PathModel.
+func (w *WiredPath) SampleOneWay(_ time.Duration, dir Direction) (time.Duration, bool) {
+	if w.LossProb > 0 && w.rng.Float64() < w.LossProb {
+		return 0, true
+	}
+	d := w.Base
+	if dir == Uplink {
+		d += w.Asym / 2
+	} else {
+		d -= w.Asym / 2
+	}
+	if w.JitterMu > 0 {
+		d += time.Duration(w.rng.ExpFloat64() * float64(w.JitterMu))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, false
+}
+
+// CompositePath chains path segments: delays add, losses OR. The
+// standard testbed topology composes the wireless access hop with a
+// wired backbone segment to the chosen pool server.
+type CompositePath struct {
+	Segments []PathModel
+}
+
+// SampleOneWay implements PathModel.
+func (c *CompositePath) SampleOneWay(now time.Duration, dir Direction) (time.Duration, bool) {
+	var total time.Duration
+	for _, seg := range c.Segments {
+		d, lost := seg.SampleOneWay(now, dir)
+		if lost {
+			return 0, true
+		}
+		total += d
+	}
+	return total, false
+}
+
+// FuncPath adapts a function to PathModel; tests use it to script
+// exact delay sequences.
+type FuncPath func(now time.Duration, dir Direction) (time.Duration, bool)
+
+// SampleOneWay implements PathModel.
+func (f FuncPath) SampleOneWay(now time.Duration, dir Direction) (time.Duration, bool) {
+	return f(now, dir)
+}

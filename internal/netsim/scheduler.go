@@ -1,0 +1,203 @@
+// Package netsim is the discrete-event network simulation substrate of
+// the MNTP reproduction. It provides a virtual-time scheduler with
+// deterministic ordering, cooperative blocking processes (so protocol
+// client code is written in ordinary sequential style and runs
+// unchanged over real transports), simulated NTP servers and pools,
+// and composable one-way-delay path models.
+//
+// Virtual time makes the paper's multi-hour experiments run in
+// milliseconds and — unlike the live testbed the paper used, which
+// could not repeat experiments exactly (§3.2) — bit-identical under a
+// fixed seed.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Scheduler is a single-threaded discrete-event scheduler. Virtual
+// time starts at zero and only advances when Run consumes events.
+// Events at equal times fire in scheduling order.
+type Scheduler struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	epoch  time.Time
+}
+
+// NewScheduler creates a scheduler whose virtual time zero corresponds
+// to the given wall-clock epoch.
+func NewScheduler(epoch time.Time) *Scheduler {
+	return &Scheduler{epoch: epoch}
+}
+
+// Now returns the current virtual time (elapsed since start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Epoch returns the wall-clock anchor of virtual time zero.
+func (s *Scheduler) Epoch() time.Time { return s.epoch }
+
+// WallNow returns the wall-clock rendering of the current virtual
+// time. This is the simulation's true time.
+func (s *Scheduler) WallNow() time.Time { return s.epoch.Add(s.now) }
+
+// At schedules fn to run at virtual time t. Times in the past run at
+// the current time (never before).
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Every schedules fn to run periodically starting at start and then
+// every interval, until fn returns false.
+func (s *Scheduler) Every(start, interval time.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(interval, tick)
+		}
+	}
+	s.At(start, tick)
+}
+
+// Step runs the next event, if any, and reports whether one ran.
+func (s *Scheduler) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run consumes events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil consumes events with timestamps ≤ t, then sets the virtual
+// time to t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Scheduler) Pending() int { return s.events.Len() }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Proc is a cooperative blocking process: a goroutine that runs
+// protocol code in ordinary sequential style, suspending on Sleep
+// while virtual time advances. Exactly one goroutine (a Proc or the
+// scheduler) executes at any moment, so simulations remain
+// deterministic.
+type Proc struct {
+	s      *Scheduler
+	resume chan struct{}
+	parked chan struct{}
+	stop   bool
+}
+
+// Go starts fn as a process at the current virtual time. Run (or
+// RunUntil past the start time) must be called for it to execute.
+func (s *Scheduler) Go(fn func(p *Proc)) {
+	p := &Proc{
+		s:      s,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.After(0, func() {
+		go func() {
+			defer func() {
+				// Convert a procStopped unwind into a clean exit;
+				// other panics propagate. recover must be called
+				// directly in the deferred function.
+				if r := recover(); r != nil {
+					if _, ok := r.(procStopped); !ok {
+						panic(r)
+					}
+				}
+				p.parked <- struct{}{} // final park: process exited
+			}()
+			fn(p)
+		}()
+		<-p.parked
+	})
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if p.stop {
+		// A stopped process must unwind; sleeping forever would
+		// deadlock the scheduler. Panic unwinds to Go's wrapper.
+		panic(procStopped{})
+	}
+	p.s.After(d, func() {
+		p.resume <- struct{}{}
+		<-p.parked
+	})
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.stop {
+		// Stopped while sleeping: unwind instead of returning into
+		// the protocol loop.
+		panic(procStopped{})
+	}
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.s.Now() }
+
+// WallNow returns the wall-clock rendering of virtual now.
+func (p *Proc) WallNow() time.Time { return p.s.WallNow() }
+
+// Scheduler returns the owning scheduler.
+func (p *Proc) Scheduler() *Scheduler { return p.s }
+
+// Stop marks the process as stopped; its next Sleep unwinds the
+// goroutine. Protocol loops structured as "for { work; Sleep }"
+// terminate cleanly.
+func (p *Proc) Stop() { p.stop = true }
+
+// Stopped reports whether Stop was called.
+func (p *Proc) Stopped() bool { return p.stop }
+
+type procStopped struct{}

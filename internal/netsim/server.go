@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/ntppkt"
+	"mntp/internal/ntptime"
+)
+
+// Server is a simulated NTP stratum server. Its clock determines the
+// timestamps it serves; a server whose clock error is large relative
+// to its peers acts as the "false ticker" MNTP's warm-up phase must
+// reject (§4.2).
+type Server struct {
+	Name      string
+	Clock     clock.Clock
+	Stratum   uint8
+	RefID     [4]byte
+	Leap      ntppkt.Leap
+	RootDelay time.Duration
+	RootDisp  time.Duration
+	// ProcMin/ProcMax bound the uniform server processing time between
+	// receive (T2) and transmit (T3).
+	ProcMin, ProcMax time.Duration
+	rng              *rand.Rand
+}
+
+// NewServer creates a simulated server with the given clock and
+// stratum.
+func NewServer(name string, clk clock.Clock, stratum uint8, seed int64) *Server {
+	var refid [4]byte
+	copy(refid[:], name)
+	return &Server{
+		Name:    name,
+		Clock:   clk,
+		Stratum: stratum,
+		RefID:   refid,
+		Leap:    ntppkt.LeapNone,
+		ProcMin: 20 * time.Microsecond,
+		ProcMax: 200 * time.Microsecond,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ProcessingDelay samples the server-side hold time for one request.
+func (s *Server) ProcessingDelay() time.Duration {
+	if s.ProcMax <= s.ProcMin {
+		return s.ProcMin
+	}
+	return s.ProcMin + time.Duration(s.rng.Int63n(int64(s.ProcMax-s.ProcMin)))
+}
+
+// Respond builds the server reply to req. recv and xmit are the
+// server-clock readings at packet arrival and departure (T2, T3).
+func (s *Server) Respond(req *ntppkt.Packet, recv, xmit time.Time) *ntppkt.Packet {
+	return &ntppkt.Packet{
+		Leap:      s.Leap,
+		Version:   req.Version,
+		Mode:      ntppkt.ModeServer,
+		Stratum:   s.Stratum,
+		Poll:      req.Poll,
+		Precision: -23,
+		RootDelay: ntptime.DurationToShort(s.RootDelay),
+		RootDisp:  ntptime.DurationToShort(s.RootDisp),
+		RefID:     s.RefID,
+		RefTime:   ntptime.FromTime(recv.Add(-30 * time.Second)),
+		Origin:    req.Transmit,
+		Receive:   ntptime.FromTime(recv),
+		Transmit:  ntptime.FromTime(xmit),
+	}
+}
+
+// Pool is a collection of servers reachable under one name, modelling
+// 0.pool.ntp.org: every lookup of the pool name yields a (seeded)
+// random member, so consecutive requests go to different references —
+// "every SNTP request to the pool server is randomly assigned to a new
+// NTP time reference" (§3.2).
+type Pool struct {
+	Name    string
+	Members []*Server
+	rng     *rand.Rand
+}
+
+// NewPool creates a pool with the given members.
+func NewPool(name string, members []*Server, seed int64) *Pool {
+	return &Pool{Name: name, Members: members, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick returns a random member.
+func (p *Pool) Pick() *Server {
+	return p.Members[p.rng.Intn(len(p.Members))]
+}
+
+// Network wires names to servers/pools and paths, and implements the
+// simulated Exchange. A Network belongs to one client host: the paths
+// are the client's paths.
+type Network struct {
+	sched   *Scheduler
+	servers map[string]*Server
+	pools   map[string]*Pool
+	paths   map[string]PathModel
+	defPath PathModel
+	// Timeout is how long a client waits before declaring a request
+	// lost. The default matches common SNTP client settings.
+	Timeout time.Duration
+	// Stats counters, observable by the harness.
+	Sent, Lost int
+}
+
+// NewNetwork creates an empty network over the scheduler.
+func NewNetwork(sched *Scheduler) *Network {
+	return &Network{
+		sched:   sched,
+		servers: make(map[string]*Server),
+		pools:   make(map[string]*Pool),
+		paths:   make(map[string]PathModel),
+		Timeout: 2 * time.Second,
+	}
+}
+
+// AddServer registers a server, optionally with a dedicated path. A
+// nil path uses the network default.
+func (n *Network) AddServer(s *Server, path PathModel) {
+	n.servers[s.Name] = s
+	if path != nil {
+		n.paths[s.Name] = path
+	}
+}
+
+// AddPool registers a pool name resolving to its members. Members must
+// also be added as servers (AddServer) to receive paths.
+func (n *Network) AddPool(p *Pool) {
+	n.pools[p.Name] = p
+	for _, m := range p.Members {
+		if _, ok := n.servers[m.Name]; !ok {
+			n.servers[m.Name] = m
+		}
+	}
+}
+
+// SetDefaultPath sets the path used for servers without a dedicated
+// one — typically the shared access link (the wireless hop).
+func (n *Network) SetDefaultPath(p PathModel) { n.defPath = p }
+
+// Resolve maps a name to a concrete server, picking a pool member if
+// the name is a pool.
+func (n *Network) Resolve(name string) (*Server, error) {
+	if p, ok := n.pools[name]; ok {
+		return p.Pick(), nil
+	}
+	if s, ok := n.servers[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("netsim: unknown server %q", name)
+}
+
+func (n *Network) pathFor(server string) PathModel {
+	if p, ok := n.paths[server]; ok {
+		return p
+	}
+	return n.defPath
+}
+
+// ErrTimeout is returned when a request or response is lost and the
+// client timeout elapses.
+type ErrTimeout struct{ Server string }
+
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("netsim: request to %s timed out", e.Server)
+}
+
+// Transport is the simulated client transport. It binds a Proc (whose
+// virtual time advances during exchanges) and the client's clock
+// (which stamps T4). It implements the exchange.Transport interface.
+type Transport struct {
+	Net   *Network
+	Proc  *Proc
+	Clock clock.Clock
+}
+
+// Exchange sends req to the named server (or pool) and blocks the
+// process for the full round trip. It returns the reply and the
+// client-clock receive time T4. Lost packets surface as *ErrTimeout
+// after Network.Timeout of virtual time.
+func (t *Transport) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
+	n := t.Net
+	srv, err := n.Resolve(server)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	path := n.pathFor(srv.Name)
+	if path == nil {
+		return nil, time.Time{}, fmt.Errorf("netsim: no path to %q", srv.Name)
+	}
+	n.Sent++
+
+	up, upLost := path.SampleOneWay(t.Proc.Now(), Uplink)
+	if upLost {
+		n.Lost++
+		t.Proc.Sleep(n.Timeout)
+		return nil, time.Time{}, &ErrTimeout{Server: srv.Name}
+	}
+	t.Proc.Sleep(up)
+
+	// Server receives now; T2 and T3 per the server clock.
+	recv := srv.Clock.Now()
+	proc := srv.ProcessingDelay()
+	t.Proc.Sleep(proc)
+	xmit := srv.Clock.Now()
+	resp := srv.Respond(req, recv, xmit)
+
+	down, downLost := path.SampleOneWay(t.Proc.Now(), Downlink)
+	if downLost || up+proc+down > n.Timeout {
+		// Lost on the way back, or the reply would arrive after the
+		// client stopped waiting — either way the client times out.
+		n.Lost++
+		elapsed := up + proc
+		if rem := n.Timeout - elapsed; rem > 0 {
+			t.Proc.Sleep(rem)
+		}
+		return nil, time.Time{}, &ErrTimeout{Server: srv.Name}
+	}
+	t.Proc.Sleep(down)
+	return resp, t.Clock.Now(), nil
+}
+
+// Ping measures a round trip to the named server without NTP
+// semantics; the monitor node's feedback loop uses it. It returns the
+// RTT and false, or 0 and true when the probe (either direction) was
+// lost.
+func (t *Transport) Ping(server string) (time.Duration, bool) {
+	n := t.Net
+	srv, err := n.Resolve(server)
+	if err != nil {
+		return 0, true
+	}
+	path := n.pathFor(srv.Name)
+	up, upLost := path.SampleOneWay(t.Proc.Now(), Uplink)
+	if upLost {
+		t.Proc.Sleep(n.Timeout)
+		return 0, true
+	}
+	down, downLost := path.SampleOneWay(t.Proc.Now()+up, Downlink)
+	if downLost {
+		t.Proc.Sleep(n.Timeout)
+		return 0, true
+	}
+	rtt := up + down
+	t.Proc.Sleep(rtt)
+	return rtt, false
+}

@@ -1,0 +1,269 @@
+package ntpclient
+
+import (
+	"errors"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/exchange"
+	"mntp/internal/ntppkt"
+)
+
+// Config parameterizes the full NTP client.
+type Config struct {
+	// Servers are the references to poll (ntpd typically uses 3–4).
+	Servers []string
+	// MinPoll and MaxPoll bound the adaptive poll interval
+	// (defaults 16 s and 1024 s).
+	MinPoll, MaxPoll time.Duration
+	// StepThreshold is the offset magnitude beyond which the clock is
+	// stepped rather than slewed (default 128 ms, ntpd's STEPT).
+	StepThreshold time.Duration
+	// FreqClamp bounds the absolute frequency correction
+	// (default 500 ppm, ntpd's maximum).
+	FreqClamp float64
+	// InitialFreq seeds the frequency correction (seconds per
+	// second), like ntpd's drift file: a host that has run NTP before
+	// starts with its oscillator error mostly pre-compensated.
+	InitialFreq float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.MinPoll == 0 {
+		c.MinPoll = 16 * time.Second
+	}
+	if c.MaxPoll == 0 {
+		c.MaxPoll = 1024 * time.Second
+	}
+	if c.StepThreshold == 0 {
+		c.StepThreshold = 128 * time.Millisecond
+	}
+	if c.FreqClamp == 0 {
+		c.FreqClamp = 500e-6
+	}
+}
+
+// Update is the outcome of one poll round.
+type Update struct {
+	// Offset is the combined clock offset estimate.
+	Offset time.Duration
+	// Survivors and Falsetickers count the selection outcome.
+	Survivors, Falsetickers int
+	// Applied reports whether the discipline adjusted the clock.
+	Applied bool
+	// Stepped reports whether the adjustment was a step (vs slew).
+	Stepped bool
+	// Poll is the interval until the next round.
+	Poll time.Duration
+}
+
+// ErrNoConsensus is returned when selection finds no majority clique
+// of agreeing servers.
+var ErrNoConsensus = errors.New("ntpclient: no server consensus")
+
+// Client is a full NTP client disciplining an adjustable clock.
+type Client struct {
+	Clock     clock.Adjustable
+	Transport exchange.Transport
+	Config    Config
+
+	peers map[string]*peerFilter
+	// demobilized maps servers that sent kiss-of-death to the time
+	// polling may resume.
+	demobilized map[string]time.Time
+	// discipline state
+	freq     float64 // accumulated frequency correction (s/s)
+	pollExp  int     // current poll interval = MinPoll << pollExp
+	lastTime time.Time
+	haveLast bool
+}
+
+// New creates a client with defaults applied.
+func New(clk clock.Adjustable, tr exchange.Transport, cfg Config) *Client {
+	cfg.applyDefaults()
+	c := &Client{
+		Clock: clk, Transport: tr, Config: cfg,
+		peers: make(map[string]*peerFilter),
+		freq:  cfg.InitialFreq,
+	}
+	if cfg.InitialFreq != 0 {
+		clk.AdjustFreq(cfg.InitialFreq)
+	}
+	for _, s := range cfg.Servers {
+		c.peers[s] = &peerFilter{}
+	}
+	return c
+}
+
+// PollInterval returns the current adaptive poll interval.
+func (c *Client) PollInterval() time.Duration {
+	iv := c.Config.MinPoll << uint(c.pollExp)
+	if iv > c.Config.MaxPoll {
+		iv = c.Config.MaxPoll
+	}
+	return iv
+}
+
+// demobilizePeriod is how long a server answering with kiss-of-death
+// is excluded from polling (RFC 5905 requires demobilization; a fixed
+// holdoff keeps this client simple).
+const demobilizePeriod = 1 * time.Hour
+
+// Poll performs one round: query every server, filter, select,
+// cluster, combine and discipline the clock. Individual server
+// failures are tolerated; a kiss-of-death reply demobilizes the peer
+// for a holdoff period. The round fails only if no server answers or
+// selection finds no consensus.
+func (c *Client) Poll() (Update, error) {
+	var cands []Candidate
+	now := c.Clock.Now()
+	for _, server := range c.Config.Servers {
+		if until, held := c.demobilized[server]; held {
+			if now.Before(until) {
+				continue
+			}
+			delete(c.demobilized, server)
+		}
+		s, err := exchange.Measure(c.Clock, c.Transport, server, ntppkt.Version4, false)
+		if err != nil {
+			if errors.Is(err, ntppkt.ErrKissOfDeath) {
+				if c.demobilized == nil {
+					c.demobilized = make(map[string]time.Time)
+				}
+				c.demobilized[server] = now.Add(demobilizePeriod)
+			}
+			continue
+		}
+		pf := c.peers[server]
+		pf.add(s)
+		best, jitter, ok := pf.best()
+		if !ok {
+			continue
+		}
+		best = agedSample(best, c.Clock.Now())
+		cands = append(cands, Candidate{Server: server, Sample: best, Jitter: jitter})
+	}
+	if len(cands) == 0 {
+		return Update{Poll: c.PollInterval()}, errors.New("ntpclient: all servers unreachable")
+	}
+
+	surv := Select(cands)
+	if len(surv) == 0 {
+		return Update{Poll: c.PollInterval()}, ErrNoConsensus
+	}
+	surv = Cluster(surv)
+	offset, _ := Combine(surv)
+
+	u := Update{
+		Offset:       offset,
+		Survivors:    len(surv),
+		Falsetickers: len(cands) - len(surv),
+	}
+	c.discipline(offset, &u)
+	c.adaptPoll(offset, surv)
+	u.Poll = c.PollInterval()
+	return u, nil
+}
+
+// discipline applies the offset to the clock: a step beyond the step
+// threshold, otherwise a phase nudge plus an integral frequency
+// correction (a first-order PLL).
+func (c *Client) discipline(offset time.Duration, u *Update) {
+	now := c.Clock.Now()
+	if offset > c.Config.StepThreshold || offset < -c.Config.StepThreshold {
+		c.Clock.Step(offset)
+		// A step invalidates phase history and every sample in the
+		// peer filters (their offsets were measured against the
+		// pre-step clock); ntpd likewise clears its registers.
+		c.haveLast = false
+		for _, pf := range c.peers {
+			*pf = peerFilter{}
+		}
+		u.Applied, u.Stepped = true, true
+		return
+	}
+	// Phase: correct half the measured offset immediately (the
+	// remainder is absorbed by subsequent rounds, emulating ntpd's
+	// gradual slew without sub-second simulation ticks). The filter
+	// registers are re-expressed against the adjusted clock so the
+	// same error is never corrected twice.
+	c.Clock.Step(offset / 2)
+	for _, pf := range c.peers {
+		pf.shiftOffsets(offset / 2)
+	}
+	// Frequency: PLL integral term, freq += θ·μ/(4·τ²) with the time
+	// constant τ floored at 64 s so measurement noise at short poll
+	// intervals does not random-walk the frequency (RFC 5905 §11.3).
+	if c.haveLast {
+		dt := now.Sub(c.lastTime).Seconds()
+		if dt > 0 {
+			tc := dt
+			if tc < 64 {
+				tc = 64
+			}
+			c.freq += offset.Seconds() * dt / (4 * tc * tc)
+			if c.freq > c.Config.FreqClamp {
+				c.freq = c.Config.FreqClamp
+			}
+			if c.freq < -c.Config.FreqClamp {
+				c.freq = -c.Config.FreqClamp
+			}
+			c.Clock.AdjustFreq(c.freq)
+		}
+	}
+	c.lastTime = now
+	c.haveLast = true
+	u.Applied = true
+}
+
+// adaptPoll widens the poll interval while the loop is quiet and
+// narrows it when offsets grow relative to the survivors' jitter.
+func (c *Client) adaptPoll(offset time.Duration, surv []Candidate) {
+	var maxJitter time.Duration
+	for _, s := range surv {
+		if s.Jitter > maxJitter {
+			maxJitter = s.Jitter
+		}
+	}
+	if maxJitter < time.Millisecond {
+		maxJitter = time.Millisecond
+	}
+	abs := offset
+	if abs < 0 {
+		abs = -abs
+	}
+	maxExp := 0
+	for iv := c.Config.MinPoll; iv < c.Config.MaxPoll; iv <<= 1 {
+		maxExp++
+	}
+	if abs < 4*maxJitter {
+		if c.pollExp < maxExp {
+			c.pollExp++
+		}
+	} else if c.pollExp > 0 {
+		c.pollExp--
+	}
+}
+
+// FreqCorrection returns the accumulated frequency correction (for
+// observability in experiments).
+func (c *Client) FreqCorrection() float64 { return c.freq }
+
+// Sleeper is the waiting abstraction (satisfied by netsim.Proc and
+// sntp.WallSleeper).
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Run polls in a loop until the sleeper's process is stopped (in
+// simulation) or forever (wall time), disciplining the clock each
+// round. onRound, if non-nil, observes every update.
+func (c *Client) Run(sl Sleeper, onRound func(Update, error)) {
+	for {
+		u, err := c.Poll()
+		if onRound != nil {
+			onRound(u, err)
+		}
+		sl.Sleep(u.Poll)
+	}
+}

@@ -1,0 +1,111 @@
+// Package ntpclient implements a full NTP reference client in the
+// spirit of ntpd: a per-peer clock filter (8-stage shift register,
+// minimum-delay selection), Marzullo/intersection selection of
+// truechimers, cluster pruning by select jitter, weighted combining,
+// and a PLL-style clock discipline with adaptive polling.
+//
+// The paper's baseline scenarios ("with NTP clock correction") use
+// this client to discipline the target node's clock, and §7 names a
+// reference NTP implementation for benchmarking MNTP as future work —
+// which this package discharges.
+package ntpclient
+
+import (
+	"math"
+	"time"
+
+	"mntp/internal/exchange"
+)
+
+// filterStages is the depth of the per-peer clock filter shift
+// register (RFC 5905 uses 8).
+const filterStages = 8
+
+// peerFilter is the per-peer clock filter: it retains the last
+// filterStages samples and selects the one with minimum delay, on the
+// principle that low-delay samples suffer the least queueing-induced
+// asymmetry.
+type peerFilter struct {
+	reg  [filterStages]exchange.Sample
+	used int
+	next int
+}
+
+// add inserts a sample into the shift register.
+func (f *peerFilter) add(s exchange.Sample) {
+	f.reg[f.next] = s
+	f.next = (f.next + 1) % filterStages
+	if f.used < filterStages {
+		f.used++
+	}
+}
+
+// len returns the number of retained samples.
+func (f *peerFilter) len() int { return f.used }
+
+// shiftOffsets subtracts x from every retained sample's offset. When
+// the local clock is adjusted by x, samples measured against the
+// pre-adjustment clock are re-expressed against the new one, so the
+// register never re-reports an error that has already been corrected.
+func (f *peerFilter) shiftOffsets(x time.Duration) {
+	for i := 0; i < f.used; i++ {
+		f.reg[i].Offset -= x
+	}
+}
+
+// best returns the minimum-delay sample among the register and the
+// filter jitter: the RMS of the offset differences between the other
+// samples and the best one. ok is false when the register is empty.
+func (f *peerFilter) best() (s exchange.Sample, jitter time.Duration, ok bool) {
+	if f.used == 0 {
+		return exchange.Sample{}, 0, false
+	}
+	bi := 0
+	for i := 1; i < f.used; i++ {
+		if f.reg[i].Delay < f.reg[bi].Delay {
+			bi = i
+		}
+	}
+	best := f.reg[bi]
+	var sum float64
+	n := 0
+	for i := 0; i < f.used; i++ {
+		if i == bi {
+			continue
+		}
+		d := (f.reg[i].Offset - best.Offset).Seconds()
+		sum += d * d
+		n++
+	}
+	if n > 0 {
+		jitter = time.Duration(math.Sqrt(sum/float64(n)) * float64(time.Second))
+	}
+	return best, jitter, true
+}
+
+// phi is the assumed maximum frequency tolerance (RFC 5905 PHI,
+// 15 ppm): a sample's dispersion grows by phi per second of age, so
+// stale filter samples carry appropriately widened correctness
+// intervals.
+const phi = 15e-6
+
+// agedSample returns s with its root dispersion widened by phi times
+// the sample's age at the given reference time.
+func agedSample(s exchange.Sample, now time.Time) exchange.Sample {
+	if age := now.Sub(s.When); age > 0 {
+		s.RootDisp += time.Duration(phi * float64(age))
+	}
+	return s
+}
+
+// rootDistance is the synchronization distance of a filtered sample:
+// half the total round-trip delay to the primary source plus the
+// accumulated dispersion. It bounds the sample's absolute error and
+// provides the correctness interval for selection.
+func rootDistance(s exchange.Sample) time.Duration {
+	d := (s.Delay+s.RootDelay)/2 + s.RootDisp
+	if min := 1 * time.Millisecond; d < min {
+		d = min // MINDISP guards degenerate zero-width intervals
+	}
+	return d
+}

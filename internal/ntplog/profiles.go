@@ -1,0 +1,58 @@
+// Package ntplog reproduces the §3.1 NTP-server log study: a
+// synthetic trace generator that writes pcap files with the
+// client-population structure of the paper's 19 donated server logs
+// (Table 1), and an analyzer that parses the traces back — extracting
+// one-way delays with the filtering heuristic of Durairajan et al.,
+// classifying clients into wired/wireless provider categories and
+// SNTP/NTP protocol use — to regenerate Table 1 and Figures 1 and 2.
+package ntplog
+
+// ServerProfile describes one of the 19 NTP servers of Table 1. The
+// counts are the paper's full-scale numbers; the generator scales
+// them down by a configurable factor.
+type ServerProfile struct {
+	ID            string
+	Stratum       uint8
+	DualStack     bool // v4/v6 in Table 1
+	UniqueClients int
+	Measurements  int
+	// ISPSpecific marks the CI1–4 and EN1–2 servers, which serve one
+	// ISP's own (mostly full-NTP) clients rather than the public pool.
+	ISPSpecific bool
+}
+
+// Table1Profiles are the 19 servers exactly as reported in Table 1 of
+// the paper.
+func Table1Profiles() []ServerProfile {
+	return []ServerProfile{
+		{ID: "AG1", Stratum: 2, DualStack: false, UniqueClients: 639704, Measurements: 9988576},
+		{ID: "CI1", Stratum: 2, DualStack: true, UniqueClients: 606, Measurements: 1480571, ISPSpecific: true},
+		{ID: "CI2", Stratum: 2, DualStack: true, UniqueClients: 359, Measurements: 1268928, ISPSpecific: true},
+		{ID: "CI3", Stratum: 2, DualStack: true, UniqueClients: 335, Measurements: 812104, ISPSpecific: true},
+		{ID: "CI4", Stratum: 2, DualStack: true, UniqueClients: 262, Measurements: 763847, ISPSpecific: true},
+		{ID: "EN1", Stratum: 2, DualStack: true, UniqueClients: 228, Measurements: 411253, ISPSpecific: true},
+		{ID: "EN2", Stratum: 2, DualStack: true, UniqueClients: 232, Measurements: 437440, ISPSpecific: true},
+		{ID: "JW1", Stratum: 1, DualStack: false, UniqueClients: 12769, Measurements: 354530},
+		{ID: "JW2", Stratum: 1, DualStack: false, UniqueClients: 35548, Measurements: 869721},
+		{ID: "MW1", Stratum: 1, DualStack: false, UniqueClients: 2746, Measurements: 197900},
+		{ID: "MW2", Stratum: 2, DualStack: false, UniqueClients: 9482918, Measurements: 46232069},
+		{ID: "MW3", Stratum: 2, DualStack: false, UniqueClients: 1141163, Measurements: 10948402},
+		{ID: "MW4", Stratum: 2, DualStack: false, UniqueClients: 2525072, Measurements: 11126121},
+		{ID: "MI1", Stratum: 1, DualStack: false, UniqueClients: 1078308, Measurements: 63907095},
+		{ID: "SU1", Stratum: 1, DualStack: true, UniqueClients: 21101, Measurements: 16404882},
+		{ID: "UI1", Stratum: 2, DualStack: false, UniqueClients: 36559, Measurements: 18426282},
+		{ID: "UI2", Stratum: 2, DualStack: false, UniqueClients: 18925, Measurements: 14194081},
+		{ID: "UI3", Stratum: 2, DualStack: false, UniqueClients: 177957, Measurements: 9254843},
+		{ID: "PP1", Stratum: 2, DualStack: false, UniqueClients: 128644, Measurements: 2369277},
+	}
+}
+
+// ProfileByID returns the named profile.
+func ProfileByID(id string) (ServerProfile, bool) {
+	for _, p := range Table1Profiles() {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return ServerProfile{}, false
+}

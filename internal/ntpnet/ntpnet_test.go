@@ -1,0 +1,182 @@
+package ntpnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/exchange"
+	"mntp/internal/ntppkt"
+	"mntp/internal/sntp"
+)
+
+func startServer(t *testing.T, clk clock.Clock) (*Server, string) {
+	t.Helper()
+	srv := NewServer(clk, 2)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func TestLoopbackExchange(t *testing.T) {
+	srv, addr := startServer(t, clock.System{})
+	c := &Client{Timeout: 2 * time.Second}
+	s, err := exchange.Measure(clock.System{}, c, addr, ntppkt.Version4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loopback to a same-clock server: offset within a few ms, delay
+	// sub-second.
+	if s.Offset < -5*time.Millisecond || s.Offset > 5*time.Millisecond {
+		t.Errorf("loopback offset = %v", s.Offset)
+	}
+	if s.Delay < 0 || s.Delay > time.Second {
+		t.Errorf("loopback delay = %v", s.Delay)
+	}
+	if srv.Served() != 1 {
+		t.Errorf("served = %d", srv.Served())
+	}
+}
+
+func TestOffsetClockServerMeasured(t *testing.T) {
+	// A server clock 750 ms ahead must be measured as ~+750 ms.
+	ahead := &clock.Fixed{Base: clock.System{}, Error: 750 * time.Millisecond}
+	_, addr := startServer(t, ahead)
+	c := &Client{Timeout: 2 * time.Second}
+	s, err := exchange.Measure(clock.System{}, c, addr, ntppkt.Version4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Offset - 750*time.Millisecond; d < -10*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("offset = %v, want ~750ms", s.Offset)
+	}
+}
+
+func TestSNTPClientOverUDP(t *testing.T) {
+	_, addr := startServer(t, clock.System{})
+	cl := sntp.New(clock.System{}, &Client{Timeout: 2 * time.Second}, sntp.WallSleeper{},
+		sntp.Config{Server: addr})
+	s, err := cl.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offset < -5*time.Millisecond || s.Offset > 5*time.Millisecond {
+		t.Errorf("offset = %v", s.Offset)
+	}
+}
+
+func TestTimeoutAgainstDeadPort(t *testing.T) {
+	c := &Client{Timeout: 200 * time.Millisecond}
+	req := ntppkt.NewSNTPClient(ntppkt.Version4, 0)
+	_, _, err := c.Exchange("127.0.0.1:9", req) // discard port, nothing listening
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Either a timeout or an ICMP-driven connection refused is
+	// acceptable; both surface as errors.
+	if !errors.Is(err, ErrTimeout) && err == nil {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	srv, addr := startServer(t, clock.System{})
+	// Send garbage, then a valid request: the server must survive and
+	// answer the valid one.
+	c := &Client{Timeout: 2 * time.Second}
+	d, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := exchange.Measure(clock.System{}, c, addr, ntppkt.Version4, true); err != nil {
+		t.Fatalf("valid request after garbage failed: %v", err)
+	}
+	if srv.Served() != 1 {
+		t.Errorf("served = %d, want 1 (garbage dropped)", srv.Served())
+	}
+}
+
+func TestServerIgnoresNonClientModes(t *testing.T) {
+	srv, addr := startServer(t, clock.System{})
+	req := ntppkt.NewSNTPClient(ntppkt.Version4, 0)
+	req.Mode = ntppkt.ModeServer // not a client request
+	c := &Client{Timeout: 300 * time.Millisecond}
+	if _, _, err := c.Exchange(addr, req); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want timeout (request ignored)", err)
+	}
+	if srv.Served() != 0 {
+		t.Errorf("served = %d, want 0", srv.Served())
+	}
+}
+
+func TestCloseIdempotentAndUnblocks(t *testing.T) {
+	srv := NewServer(clock.System{}, 2)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	// Second close on a closed server: no panic, error acceptable.
+	srv.Close()
+}
+
+func TestRateLimitSendsKoD(t *testing.T) {
+	srv := NewServer(clock.System{}, 2)
+	srv.RateLimit = 3
+	srv.RateWindow = time.Minute
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &Client{Timeout: 2 * time.Second}
+	for i := 0; i < 3; i++ {
+		if _, err := exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true); err != nil {
+			t.Fatalf("request %d within limit failed: %v", i, err)
+		}
+	}
+	// Fourth request in the window: RATE kiss-of-death.
+	_, err = exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true)
+	if !errors.Is(err, ntppkt.ErrKissOfDeath) {
+		t.Fatalf("err = %v, want kiss-of-death", err)
+	}
+	if srv.RateLimited() != 1 {
+		t.Errorf("rate-limited = %d", srv.RateLimited())
+	}
+}
+
+func TestSNTPClientDoesNotRetryKoD(t *testing.T) {
+	srv := NewServer(clock.System{}, 2)
+	srv.RateLimit = 1
+	srv.RateWindow = time.Minute
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := sntp.New(clock.System{}, &Client{Timeout: 2 * time.Second}, sntp.WallSleeper{},
+		sntp.Config{Server: addr.String(), Retries: 5, RetryWait: time.Millisecond})
+	if _, err := cl.Query(); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if _, err := cl.Query(); !errors.Is(err, ntppkt.ErrKissOfDeath) {
+		t.Fatalf("second query err = %v, want KoD", err)
+	}
+	// Retries=5 but KoD must abort: exactly 1 served + limited count,
+	// not 6 more requests hammering the server.
+	if total := srv.Served() + srv.RateLimited(); total > 3 {
+		t.Errorf("server saw %d requests; client retried into the rate limit", total)
+	}
+}

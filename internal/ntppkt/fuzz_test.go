@@ -1,0 +1,29 @@
+package ntppkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary byte strings never panic the
+// decoder and that anything that decodes re-encodes to the same first
+// 48 bytes (the wire format has no don't-care bits).
+func FuzzDecode(f *testing.F) {
+	f.Add(make([]byte, HeaderLen))
+	f.Add(samplePacket().Encode(nil))
+	f.Add([]byte{0xe3})
+	f.Add(append(samplePacket().Encode(nil), 0xde, 0xad))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			if len(data) >= HeaderLen {
+				t.Fatalf("48+ bytes failed to decode: %v", err)
+			}
+			return
+		}
+		out := p.Encode(nil)
+		if !bytes.Equal(out, data[:HeaderLen]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:HeaderLen], out)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Package ntppkt implements the NTP packet wire format of RFC 5905 §7.3
+// (shared by SNTP, RFC 4330). It provides encoding, decoding, field
+// validation and the SNTP-style minimal client packet described in the
+// MNTP paper (§2): "SNTP sets all fields in an NTP packet to zero except
+// the first octet".
+package ntppkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mntp/internal/ntptime"
+)
+
+// HeaderLen is the length in bytes of an NTP packet without extensions
+// or authentication.
+const HeaderLen = 48
+
+// Leap indicator values (RFC 5905 figure 9).
+type Leap uint8
+
+const (
+	LeapNone    Leap = 0 // no warning
+	LeapAddSec  Leap = 1 // last minute of the day has 61 seconds
+	LeapDelSec  Leap = 2 // last minute of the day has 59 seconds
+	LeapNotSync Leap = 3 // unknown (clock unsynchronized)
+)
+
+// Mode values (RFC 5905 figure 10).
+type Mode uint8
+
+const (
+	ModeReserved  Mode = 0
+	ModeSymActive Mode = 1
+	ModeSymPassiv Mode = 2
+	ModeClient    Mode = 3
+	ModeServer    Mode = 4
+	ModeBroadcast Mode = 5
+	ModeControl   Mode = 6
+	ModePrivate   Mode = 7
+)
+
+// Version numbers in current use.
+const (
+	Version3 = 3
+	Version4 = 4
+)
+
+// Stratum values of note (RFC 5905 figure 11).
+const (
+	StratumKoD        = 0  // kiss-of-death / unspecified
+	StratumPrimary    = 1  // primary server (e.g. GPS, atomic)
+	StratumMaxSecond  = 15 // maximum valid secondary stratum
+	StratumUnsynchron = 16 // unsynchronized
+)
+
+// Common kiss-of-death codes carried in the reference ID when stratum=0.
+var (
+	KissDeny = [4]byte{'D', 'E', 'N', 'Y'}
+	KissRate = [4]byte{'R', 'A', 'T', 'E'}
+	KissRstr = [4]byte{'R', 'S', 'T', 'R'}
+)
+
+// Packet is a decoded NTP packet header.
+type Packet struct {
+	Leap      Leap
+	Version   uint8
+	Mode      Mode
+	Stratum   uint8
+	Poll      int8 // log2 seconds
+	Precision int8 // log2 seconds
+	RootDelay ntptime.Short
+	RootDisp  ntptime.Short
+	RefID     [4]byte
+	RefTime   ntptime.Timestamp // time the system clock was last set
+	Origin    ntptime.Timestamp // T1: client transmit time, echoed
+	Receive   ntptime.Timestamp // T2: server receive time
+	Transmit  ntptime.Timestamp // T3: server transmit time
+}
+
+// Errors returned by Decode and Validate.
+var (
+	ErrShortPacket    = errors.New("ntppkt: packet shorter than 48 bytes")
+	ErrBadVersion     = errors.New("ntppkt: unsupported protocol version")
+	ErrBadMode        = errors.New("ntppkt: unexpected mode")
+	ErrKissOfDeath    = errors.New("ntppkt: kiss-of-death packet")
+	ErrUnsynchronized = errors.New("ntppkt: server unsynchronized")
+	ErrBogusOrigin    = errors.New("ntppkt: origin timestamp does not match request")
+	ErrZeroTransmit   = errors.New("ntppkt: zero transmit timestamp")
+)
+
+// NewClient returns a full NTP client (mode 3) request packet with the
+// given version and transmit timestamp. The remaining fields carry the
+// client's notion of its own quality, as ntpd would populate them.
+func NewClient(version uint8, transmit ntptime.Timestamp) *Packet {
+	return &Packet{
+		Leap:      LeapNone,
+		Version:   version,
+		Mode:      ModeClient,
+		Precision: -20, // ~1 µs, typical for a software clock
+		Transmit:  transmit,
+	}
+}
+
+// NewSNTPClient returns a minimal SNTP client request: all fields zero
+// except the first octet (LI=0/unknown, VN, mode 3) and the transmit
+// timestamp, which the client needs echoed back as the origin for T1.
+// RFC 4330 permits (and common mobile implementations use) exactly this
+// shape; the zeroed stratum/poll/precision/root fields are what the log
+// analyzer in internal/ntplog keys on to classify a client as SNTP.
+func NewSNTPClient(version uint8, transmit ntptime.Timestamp) *Packet {
+	return &Packet{
+		Leap:     LeapNotSync,
+		Version:  version,
+		Mode:     ModeClient,
+		Transmit: transmit,
+	}
+}
+
+// Encode appends the 48-byte wire representation of p to dst and
+// returns the extended slice. Pass nil to allocate.
+func (p *Packet) Encode(dst []byte) []byte {
+	var b [HeaderLen]byte
+	b[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
+	b[1] = p.Stratum
+	b[2] = byte(p.Poll)
+	b[3] = byte(p.Precision)
+	binary.BigEndian.PutUint32(b[4:], uint32(p.RootDelay))
+	binary.BigEndian.PutUint32(b[8:], uint32(p.RootDisp))
+	copy(b[12:16], p.RefID[:])
+	binary.BigEndian.PutUint64(b[16:], uint64(p.RefTime))
+	binary.BigEndian.PutUint64(b[24:], uint64(p.Origin))
+	binary.BigEndian.PutUint64(b[32:], uint64(p.Receive))
+	binary.BigEndian.PutUint64(b[40:], uint64(p.Transmit))
+	return append(dst, b[:]...)
+}
+
+// Decode parses the first 48 bytes of src into a Packet. Extension
+// fields and MACs after the header are ignored, as SNTP clients do.
+func Decode(src []byte) (*Packet, error) {
+	var p Packet
+	if err := p.DecodeInto(src); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DecodeInto parses src into p without allocating.
+func (p *Packet) DecodeInto(src []byte) error {
+	if len(src) < HeaderLen {
+		return ErrShortPacket
+	}
+	p.Leap = Leap(src[0] >> 6)
+	p.Version = (src[0] >> 3) & 0x7
+	p.Mode = Mode(src[0] & 0x7)
+	p.Stratum = src[1]
+	p.Poll = int8(src[2])
+	p.Precision = int8(src[3])
+	p.RootDelay = ntptime.Short(binary.BigEndian.Uint32(src[4:]))
+	p.RootDisp = ntptime.Short(binary.BigEndian.Uint32(src[8:]))
+	copy(p.RefID[:], src[12:16])
+	p.RefTime = ntptime.Timestamp(binary.BigEndian.Uint64(src[16:]))
+	p.Origin = ntptime.Timestamp(binary.BigEndian.Uint64(src[24:]))
+	p.Receive = ntptime.Timestamp(binary.BigEndian.Uint64(src[32:]))
+	p.Transmit = ntptime.Timestamp(binary.BigEndian.Uint64(src[40:]))
+	return nil
+}
+
+// ValidateServerReply applies the sanity checks an SNTP client must run
+// on a server reply (RFC 4330 §5): version, mode, kiss-of-death,
+// synchronization state, non-zero transmit time and origin echo.
+// origin is the transmit timestamp the client sent (T1).
+func (p *Packet) ValidateServerReply(origin ntptime.Timestamp) error {
+	if p.Version != Version3 && p.Version != Version4 {
+		return fmt.Errorf("%w: %d", ErrBadVersion, p.Version)
+	}
+	if p.Mode != ModeServer && p.Mode != ModeBroadcast {
+		return fmt.Errorf("%w: %d", ErrBadMode, p.Mode)
+	}
+	if p.Stratum == StratumKoD {
+		return fmt.Errorf("%w: %q", ErrKissOfDeath, string(p.RefID[:]))
+	}
+	if p.Stratum > StratumMaxSecond {
+		return ErrUnsynchronized
+	}
+	if p.Leap == LeapNotSync {
+		return ErrUnsynchronized
+	}
+	if p.Transmit.IsZero() {
+		return ErrZeroTransmit
+	}
+	if p.Origin != origin {
+		return ErrBogusOrigin
+	}
+	return nil
+}
+
+// IsSNTPRequest reports whether a mode-3 request exhibits the minimal
+// SNTP shape: zeroed stratum, poll, precision, root delay/dispersion
+// and reference fields. Full ntpd clients populate poll and precision.
+// This is the wire-observable heuristic the §3.1 log study uses to
+// separate SNTP from NTP clients.
+func (p *Packet) IsSNTPRequest() bool {
+	return p.Mode == ModeClient &&
+		p.Stratum == 0 && p.Poll == 0 && p.Precision == 0 &&
+		p.RootDelay == 0 && p.RootDisp == 0 &&
+		p.RefID == [4]byte{} && p.RefTime.IsZero()
+}
+
+// String renders a compact one-line summary for logs.
+func (p *Packet) String() string {
+	return fmt.Sprintf("ntp{v%d mode=%d stratum=%d leap=%d poll=%d prec=%d}",
+		p.Version, p.Mode, p.Stratum, p.Leap, p.Poll, p.Precision)
+}

@@ -1,0 +1,214 @@
+package ntppkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mntp/internal/ntptime"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Leap:      LeapNone,
+		Version:   Version4,
+		Mode:      ModeServer,
+		Stratum:   2,
+		Poll:      6,
+		Precision: -23,
+		RootDelay: ntptime.DurationToShort(30 * time.Millisecond),
+		RootDisp:  ntptime.DurationToShort(5 * time.Millisecond),
+		RefID:     [4]byte{192, 0, 2, 1},
+		RefTime:   ntptime.FromTime(time.Date(2016, 11, 14, 9, 0, 0, 0, time.UTC)),
+		Origin:    ntptime.FromTime(time.Date(2016, 11, 14, 9, 0, 1, 0, time.UTC)),
+		Receive:   ntptime.FromTime(time.Date(2016, 11, 14, 9, 0, 1, 50000000, time.UTC)),
+		Transmit:  ntptime.FromTime(time.Date(2016, 11, 14, 9, 0, 1, 50100000, time.UTC)),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := samplePacket()
+	wire := want.Encode(nil)
+	if len(wire) != HeaderLen {
+		t.Fatalf("encoded length = %d, want %d", len(wire), HeaderLen)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeFirstOctet(t *testing.T) {
+	p := &Packet{Leap: LeapNotSync, Version: Version4, Mode: ModeClient}
+	wire := p.Encode(nil)
+	// LI=3 (11), VN=4 (100), mode=3 (011) -> 0b11100011 = 0xe3.
+	if wire[0] != 0xe3 {
+		t.Errorf("first octet = %#x, want 0xe3", wire[0])
+	}
+}
+
+func TestDecodeShortPacket(t *testing.T) {
+	if _, err := Decode(make([]byte, 47)); err != ErrShortPacket {
+		t.Errorf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestDecodeIgnoresTrailingBytes(t *testing.T) {
+	want := samplePacket()
+	wire := want.Encode(nil)
+	wire = append(wire, 1, 2, 3, 4, 5, 6, 7, 8) // extension/MAC bytes
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Error("trailing bytes changed decode result")
+	}
+}
+
+func TestSNTPClientShape(t *testing.T) {
+	tx := ntptime.FromTime(time.Date(2016, 11, 14, 9, 0, 0, 0, time.UTC))
+	p := NewSNTPClient(Version4, tx)
+	wire := p.Encode(nil)
+	// Everything except the first octet and the transmit timestamp must
+	// be zero (the paper's description of SNTP packets, §2).
+	if !bytes.Equal(wire[1:40], make([]byte, 39)) {
+		t.Errorf("SNTP client packet has non-zero middle bytes: %x", wire[1:40])
+	}
+	dec, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.IsSNTPRequest() {
+		t.Error("minimal SNTP request not classified as SNTP")
+	}
+	if dec.Transmit != tx {
+		t.Error("transmit timestamp lost")
+	}
+}
+
+func TestFullClientNotClassifiedSNTP(t *testing.T) {
+	p := NewClient(Version4, ntptime.FromTime(time.Now()))
+	p.Poll = 6
+	if p.IsSNTPRequest() {
+		t.Error("full NTP client misclassified as SNTP")
+	}
+}
+
+func TestValidateServerReply(t *testing.T) {
+	origin := ntptime.FromTime(time.Date(2016, 11, 14, 9, 0, 0, 0, time.UTC))
+	good := func() *Packet {
+		p := samplePacket()
+		p.Origin = origin
+		return p
+	}
+
+	if err := good().ValidateServerReply(origin); err != nil {
+		t.Errorf("valid reply rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Packet)
+		want   error
+	}{
+		{"bad version", func(p *Packet) { p.Version = 2 }, ErrBadVersion},
+		{"bad mode", func(p *Packet) { p.Mode = ModeClient }, ErrBadMode},
+		{"kiss of death", func(p *Packet) { p.Stratum = 0; p.RefID = KissRate }, ErrKissOfDeath},
+		{"high stratum", func(p *Packet) { p.Stratum = 16 }, ErrUnsynchronized},
+		{"leap not sync", func(p *Packet) { p.Leap = LeapNotSync }, ErrUnsynchronized},
+		{"zero transmit", func(p *Packet) { p.Transmit = 0 }, ErrZeroTransmit},
+		{"bogus origin", func(p *Packet) { p.Origin = origin + 1 }, ErrBogusOrigin},
+	}
+	for _, c := range cases {
+		p := good()
+		c.mutate(p)
+		err := p.ValidateServerReply(origin)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errorsIs(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Property: any 48-byte buffer decodes, re-encodes to the same bytes
+// except the reserved high version bit patterns, and field extraction
+// is consistent.
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(raw [HeaderLen]byte) bool {
+		p, err := Decode(raw[:])
+		if err != nil {
+			return false
+		}
+		out := p.Encode(nil)
+		return bytes.Equal(out, raw[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: struct -> wire -> struct is the identity for all field
+// values representable on the wire.
+func TestQuickStructRoundTrip(t *testing.T) {
+	f := func(leap, mode uint8, stratum uint8, poll, prec int8,
+		rd, rdisp uint32, refid [4]byte, rt, or, rx, tx uint64) bool {
+		want := Packet{
+			Leap: Leap(leap % 4), Version: Version4, Mode: Mode(mode % 8),
+			Stratum: stratum, Poll: poll, Precision: prec,
+			RootDelay: ntptime.Short(rd), RootDisp: ntptime.Short(rdisp),
+			RefID:   refid,
+			RefTime: ntptime.Timestamp(rt), Origin: ntptime.Timestamp(or),
+			Receive: ntptime.Timestamp(rx), Transmit: ntptime.Timestamp(tx),
+		}
+		var got Packet
+		if err := got.DecodeInto(want.Encode(nil)); err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := samplePacket()
+	buf := make([]byte, 0, HeaderLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Encode(buf[:0])
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	wire := samplePacket().Encode(nil)
+	var p Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.DecodeInto(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

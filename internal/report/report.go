@@ -1,0 +1,293 @@
+// Package report renders the reproduction's tables and figures as
+// text: aligned tables for Table 1/2-style output and ASCII scatter
+// and CDF plots for the figures, suitable for terminals and for
+// inclusion in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one plotted dataset.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot renders scatter series on a shared grid. X and Y ranges span
+// all series; a y=0 axis line is drawn when zero is in range.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+	series []Series
+}
+
+// NewPlot creates a plot.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// Add appends a series.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+// String renders the plot.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			n++
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if n == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// y=0 axis.
+	if minY < 0 && maxY > 0 {
+		row := rowOf(0, minY, maxY, h)
+		for j := 0; j < w; j++ {
+			grid[row][j] = '-'
+		}
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := rowOf(s.Y[i], minY, maxY, h)
+			grid[row][col] = s.Marker
+		}
+	}
+
+	yFmt := func(v float64) string { return fmt.Sprintf("%9.1f", v) }
+	for i, row := range grid {
+		label := strings.Repeat(" ", 9)
+		switch i {
+		case 0:
+			label = yFmt(maxY)
+		case h - 1:
+			label = yFmt(minY)
+		case h / 2:
+			label = yFmt((maxY + minY) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s %s -> %s  (%s)\n",
+		strings.Repeat(" ", 9), fmtNum(minX), fmtNum(maxX), p.XLabel)
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s y: %s\n", strings.Repeat(" ", 9), p.YLabel)
+	}
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", 9), strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+func rowOf(y, minY, maxY float64, h int) int {
+	r := int((maxY - y) / (maxY - minY) * float64(h-1))
+	if r < 0 {
+		r = 0
+	}
+	if r >= h {
+		r = h - 1
+	}
+	return r
+}
+
+func fmtNum(v float64) string {
+	if math.Abs(v) >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// CDFPlot renders one or more empirical CDFs (x vs cumulative
+// probability 0..1).
+func CDFPlot(title, xlabel string, series []Series) string {
+	p := NewPlot(title, xlabel, "P[X <= x]")
+	p.Height = 16
+	for _, s := range series {
+		p.Add(s)
+	}
+	return p.String()
+}
+
+// BoxRow is one category of a box plot: the five-number summary of a
+// distribution.
+type BoxRow struct {
+	Label                      string
+	Min, P25, Median, P75, Max float64
+}
+
+// BoxPlot renders horizontal ASCII box-and-whisker rows on a shared
+// scale — the form of the paper's Figure 1 (left): one row per
+// service provider, whiskers at min/max, box from P25 to P75, median
+// marked. Returns "(no data)" under the title when rows are empty.
+func BoxPlot(title, xlabel string, rows []BoxRow, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(rows) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if width <= 10 {
+		width = 60
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, r := range rows {
+		lo = math.Min(lo, r.Min)
+		hi = math.Max(hi, r.Max)
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	col := func(v float64) int {
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, r := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		// Whiskers.
+		for i := col(r.Min); i <= col(r.Max); i++ {
+			line[i] = '-'
+		}
+		// Box.
+		for i := col(r.P25); i <= col(r.P75); i++ {
+			line[i] = '='
+		}
+		line[col(r.Min)] = '|'
+		line[col(r.Max)] = '|'
+		line[col(r.Median)] = 'M'
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, string(line))
+	}
+	fmt.Fprintf(&b, "%-*s  %s -> %s  (%s)\n", labelW, "",
+		fmtNum(lo), fmtNum(hi), xlabel)
+	return b.String()
+}

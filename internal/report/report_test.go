@@ -1,0 +1,125 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Server", "Clients", "RMSE")
+	tb.AddRow("AG1", 639704, 13.081)
+	tb.AddRow("SU1", 21101, 9.2)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Server") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "13.08") {
+		t.Errorf("float not formatted to 2 decimals: %q", lines[2])
+	}
+	// All lines equal width (aligned columns).
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+}
+
+func TestPlotRendersMarkersAndAxis(t *testing.T) {
+	p := NewPlot("offsets", "time (s)", "offset (ms)")
+	p.Width, p.Height = 40, 10
+	p.Add(Series{Name: "sntp", Marker: '+', X: []float64{0, 10, 20}, Y: []float64{-50, 0, 120}})
+	p.Add(Series{Name: "mntp", Marker: 'o', X: []float64{0, 10, 20}, Y: []float64{5, 6, 7}})
+	out := p.String()
+	if !strings.Contains(out, "offsets") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+	if !strings.Contains(out, "+=sntp") || !strings.Contains(out, "o=mntp") {
+		t.Error("legend missing")
+	}
+	// y=0 axis line should appear since range spans zero.
+	if !strings.Contains(out, "----") {
+		t.Error("zero axis missing")
+	}
+}
+
+func TestPlotEmptyData(t *testing.T) {
+	p := NewPlot("empty", "x", "y")
+	if out := p.String(); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotHandlesNaN(t *testing.T) {
+	p := NewPlot("nan", "x", "y")
+	p.Add(Series{Name: "s", Marker: '*', X: []float64{0, math.NaN(), 2}, Y: []float64{1, 2, math.NaN()}})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Error("valid point not plotted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("const", "x", "y")
+	p.Add(Series{Name: "c", Marker: '#', X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	out := p.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	out := CDFPlot("min OWD", "ms", []Series{
+		{Name: "SP22", Marker: 'm', X: []float64{100, 300, 500}, Y: []float64{0.25, 0.5, 1}},
+	})
+	if !strings.Contains(out, "P[X <= x]") || !strings.Contains(out, "m=SP22") {
+		t.Errorf("cdf plot:\n%s", out)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	rows := []BoxRow{
+		{Label: "SP 1", Min: 10, P25: 30, Median: 40, P75: 55, Max: 90},
+		{Label: "SP 22", Min: 100, P25: 300, Median: 550, P75: 700, Max: 950},
+	}
+	out := BoxPlot("min OWDs", "ms", rows, 60)
+	if !strings.Contains(out, "SP 1") || !strings.Contains(out, "SP 22") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "M") || !strings.Contains(out, "=") {
+		t.Errorf("median/box markers missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Mobile row's median marker must sit right of the cloud row's.
+	var cloudM, mobileM int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "SP 1 ") {
+			cloudM = strings.IndexRune(l, 'M')
+		}
+		if strings.HasPrefix(l, "SP 22") {
+			mobileM = strings.IndexRune(l, 'M')
+		}
+	}
+	if mobileM <= cloudM {
+		t.Errorf("mobile median column %d not right of cloud %d:\n%s", mobileM, cloudM, out)
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	if out := BoxPlot("t", "x", nil, 40); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty box plot = %q", out)
+	}
+}
+
+func TestBoxPlotDegenerateRange(t *testing.T) {
+	rows := []BoxRow{{Label: "a", Min: 5, P25: 5, Median: 5, P75: 5, Max: 5}}
+	out := BoxPlot("t", "x", rows, 40)
+	if !strings.Contains(out, "M") {
+		t.Errorf("degenerate row missing marker:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package sysclock
+
+import (
+	"testing"
+	"time"
+
+	"mntp/internal/clock"
+)
+
+var epoch = time.Date(2016, 11, 14, 0, 0, 0, 0, time.UTC)
+
+func TestSimAdjusterStep(t *testing.T) {
+	mt := time.Duration(0)
+	sim := clock.NewSim(clock.Config{Seed: 1}, epoch, func() time.Duration { return mt })
+	adj := SimAdjuster{Clock: sim}
+	if err := adj.Step(-40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.TrueOffset(); got != -40*time.Millisecond {
+		t.Errorf("offset = %v", got)
+	}
+}
+
+func TestSimAdjusterFreq(t *testing.T) {
+	mt := time.Duration(0)
+	sim := clock.NewSim(clock.Config{SkewPPM: 30, Seed: 1}, epoch, func() time.Duration { return mt })
+	adj := SimAdjuster{Clock: sim}
+	if err := adj.AdjustFreq(-30e-6); err != nil {
+		t.Fatal(err)
+	}
+	mt = time.Hour
+	if got := sim.TrueOffset(); got < -time.Millisecond || got > time.Millisecond {
+		t.Errorf("corrected clock drifted %v", got)
+	}
+}
+
+func TestNoop(t *testing.T) {
+	var n Noop
+	if err := n.Step(time.Second); err != nil {
+		t.Error(err)
+	}
+	if err := n.AdjustFreq(1e-6); err != nil {
+		t.Error(err)
+	}
+}

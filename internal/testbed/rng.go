@@ -1,0 +1,7 @@
+package testbed
+
+import "math/rand"
+
+// newRng returns a seeded RNG; a helper so every stochastic component
+// of the testbed derives determinism from the scenario seed.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,218 @@
+// Package trend implements the least-squares trend line machinery that
+// MNTP (§4.2 of the paper) fits to recorded clock offsets: a first
+// degree polynomial fit over (elapsed time, offset) samples, the slope
+// of which estimates the clock drift, plus the residual statistics the
+// MNTP filter uses to accept or reject newly reported offsets.
+//
+// Fitting is incremental: adding a sample updates running sums so the
+// line is refit in O(1), matching the paper's §5.3 refinement of
+// re-estimating the drift with every new accepted sample.
+package trend
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficient is returned when a fit is requested with fewer than
+// two samples (a line is undetermined).
+var ErrInsufficient = errors.New("trend: need at least two samples to fit a line")
+
+// Line is a fitted first-degree polynomial y = Intercept + Slope·x.
+type Line struct {
+	Slope     float64 // drift estimate: offset seconds per elapsed second
+	Intercept float64
+}
+
+// At evaluates the line at x — extending the trend line to estimate
+// where the next offset sample should fall.
+func (l Line) At(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// Fitter accumulates (x, y) samples and maintains the least-squares
+// line over them. The zero value is an empty fitter ready for use.
+type Fitter struct {
+	n                int
+	sx, sy, sxx, sxy float64
+	syy              float64
+}
+
+// Add incorporates the sample (x, y) and refits.
+func (f *Fitter) Add(x, y float64) {
+	f.n++
+	f.sx += x
+	f.sy += y
+	f.sxx += x * x
+	f.sxy += x * y
+	f.syy += y * y
+}
+
+// N returns the number of samples added.
+func (f *Fitter) N() int { return f.n }
+
+// Line returns the current least-squares line. With fewer than two
+// samples, or with all x values identical, it returns ErrInsufficient.
+func (f *Fitter) Line() (Line, error) {
+	if f.n < 2 {
+		return Line{}, ErrInsufficient
+	}
+	n := float64(f.n)
+	det := n*f.sxx - f.sx*f.sx
+	if det == 0 || math.Abs(det) < 1e-18*math.Max(1, f.sxx*n) {
+		return Line{}, ErrInsufficient
+	}
+	slope := (n*f.sxy - f.sx*f.sy) / det
+	intercept := (f.sy - slope*f.sx) / n
+	return Line{Slope: slope, Intercept: intercept}, nil
+}
+
+// ResidualVariance returns the unbiased residual variance of the fit,
+// s² = Σ(yᵢ−ŷᵢ)²/(n−2). It requires at least three samples.
+func (f *Fitter) ResidualVariance() (float64, error) {
+	if f.n < 3 {
+		return 0, ErrInsufficient
+	}
+	line, err := f.Line()
+	if err != nil {
+		return 0, err
+	}
+	sse := f.syy - line.Intercept*f.sy - line.Slope*f.sxy
+	if sse < 0 {
+		sse = 0 // numerical guard
+	}
+	return sse / float64(f.n-2), nil
+}
+
+// PredictVariance returns the variance of a *new* observation's
+// deviation from the fitted line at x — the prediction-interval
+// variance s²·(1 + 1/n + (x−x̄)²/Sxx). It grows with extrapolation
+// distance, so a gate built on it widens appropriately when the next
+// sample is far beyond the fitted data (the failure mode §5.3 of the
+// paper diagnosed in its first filter version).
+func (f *Fitter) PredictVariance(x float64) (float64, error) {
+	s2, err := f.ResidualVariance()
+	if err != nil {
+		return 0, err
+	}
+	n := float64(f.n)
+	sxxC := f.sxx - f.sx*f.sx/n
+	if sxxC <= 0 {
+		return 0, ErrInsufficient
+	}
+	xbar := f.sx / n
+	return s2 * (1 + 1/n + (x-xbar)*(x-xbar)/sxxC), nil
+}
+
+// SlopeVariance returns the sampling variance of the fitted slope,
+// Var(b) = s²/Sxx — how trustworthy the drift estimate is. Requires
+// at least three samples.
+func (f *Fitter) SlopeVariance() (float64, error) {
+	s2, err := f.ResidualVariance()
+	if err != nil {
+		return 0, err
+	}
+	n := float64(f.n)
+	sxxC := f.sxx - f.sx*f.sx/n
+	if sxxC <= 0 {
+		return 0, ErrInsufficient
+	}
+	return s2 / sxxC, nil
+}
+
+// SubtractLine re-expresses every accumulated sample with the linear
+// function a + b·x subtracted from its y value: y_i ← y_i − (a + b·x_i).
+// MNTP uses this when it physically corrects the clock — a step of s
+// subtracts the constant s, and a frequency trim of f applied at
+// elapsed time x0 subtracts f·(x − x0) — so the recorded history stays
+// expressed against the *corrected* clock and the filter's predictions
+// remain valid (see DESIGN.md).
+func (f *Fitter) SubtractLine(a, b float64) {
+	// The sums transform in closed form; syy is kept consistent too.
+	n := float64(f.n)
+	newSyy := f.syy - 2*a*f.sy - 2*b*f.sxy + n*a*a + 2*a*b*f.sx + b*b*f.sxx
+	f.sxy = f.sxy - a*f.sx - b*f.sxx
+	f.sy = f.sy - n*a - b*f.sx
+	f.syy = newSyy
+}
+
+// Fit computes the least-squares line for the given samples in one
+// call. xs and ys must have equal length ≥ 2.
+func Fit(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, errors.New("trend: mismatched sample lengths")
+	}
+	var f Fitter
+	for i := range xs {
+		f.Add(xs[i], ys[i])
+	}
+	return f.Line()
+}
+
+// ResidualTracker maintains the squared prediction errors of accepted
+// samples against the evolving trend line, providing the mean ± one
+// standard deviation gate of the MNTP filter.
+//
+// The paper (§4.2): "we find the squared error of each of the reported
+// offset with respect to the fitted trend line and then extend the
+// trend line to get an estimate of where the next sample should be …
+// If the square of that error is one standard deviation above or below
+// the mean, then we reject the reported offset."
+//
+// Implemented as an upper gate (see DESIGN.md note 2): a squared error
+// more than one standard deviation above the running mean of squared
+// errors is rejected. An absolute floor keeps the gate open while the
+// residual history is still degenerate (e.g. the first few samples sit
+// exactly on the line, giving zero variance).
+type ResidualTracker struct {
+	sq    []float64 // squared errors of accepted samples
+	floor float64   // minimum gate width in squared units
+	cap   int       // sliding-window length, 0 = unbounded
+}
+
+// NewResidualTracker creates a tracker. floor is the minimum tolerated
+// squared error (in the same squared units as the offsets); window, if
+// positive, bounds the history to the most recent accepted samples.
+func NewResidualTracker(floor float64, window int) *ResidualTracker {
+	return &ResidualTracker{floor: floor, cap: window}
+}
+
+// Accept records the squared error of a sample that passed the gate.
+func (r *ResidualTracker) Accept(sqErr float64) {
+	r.sq = append(r.sq, sqErr)
+	if r.cap > 0 && len(r.sq) > r.cap {
+		r.sq = r.sq[len(r.sq)-r.cap:]
+	}
+}
+
+// N returns the number of recorded residuals.
+func (r *ResidualTracker) N() int { return len(r.sq) }
+
+// Gate returns the current rejection threshold for squared errors:
+// mean + 1·stddev of the recorded squared errors, but never below the
+// configured floor.
+func (r *ResidualTracker) Gate() float64 {
+	if len(r.sq) == 0 {
+		return r.floor
+	}
+	var mean float64
+	for _, s := range r.sq {
+		mean += s
+	}
+	mean /= float64(len(r.sq))
+	var v float64
+	for _, s := range r.sq {
+		d := s - mean
+		v += d * d
+	}
+	v /= float64(len(r.sq))
+	gate := mean + math.Sqrt(v)
+	if gate < r.floor {
+		gate = r.floor
+	}
+	return gate
+}
+
+// Admits reports whether a sample with the given squared prediction
+// error passes the current gate.
+func (r *ResidualTracker) Admits(sqErr float64) bool {
+	return sqErr <= r.Gate()
+}

