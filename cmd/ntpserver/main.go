@@ -1,10 +1,15 @@
 // Command ntpserver runs a standalone NTP/SNTP server over UDP,
 // answering mode-3 queries from the system clock (optionally shifted,
-// for testing client behaviour against a known-wrong server).
+// for testing client behaviour against a known-wrong server). A pool
+// of worker goroutines shares the socket, abusive clients are
+// rate-limited from a bounded table, and the metrics surface
+// (served/limited/dropped/malformed counters plus a request-latency
+// histogram) is printed periodically.
 //
 // Usage:
 //
 //	ntpserver [-listen 127.0.0.1:11123] [-stratum 2] [-shift 0ms]
+//	          [-workers 0] [-ratelimit 0] [-ratewindow 1m] [-maxclients 16384]
 package main
 
 import (
@@ -22,6 +27,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:11123", "listen address")
 	stratum := flag.Int("stratum", 2, "advertised stratum")
 	shift := flag.Duration("shift", 0, "constant error added to served time")
+	workers := flag.Int("workers", 0, "serve goroutines sharing the socket (0 = GOMAXPROCS)")
+	rateLimit := flag.Int("ratelimit", 0, "max requests per client per window (0 = unlimited)")
+	rateWindow := flag.Duration("ratewindow", time.Minute, "rate-limit window")
+	maxClients := flag.Int("maxclients", ntpnet.DefaultMaxClients, "rate-limit table bound")
+	statsEvery := flag.Duration("stats", 30*time.Second, "metrics print interval")
 	flag.Parse()
 
 	var clk clock.Clock = clock.System{}
@@ -29,25 +39,34 @@ func main() {
 		clk = &clock.Fixed{Base: clock.System{}, Error: *shift}
 	}
 	srv := ntpnet.NewServer(clk, uint8(*stratum))
+	srv.Workers = *workers
+	srv.RateLimit = *rateLimit
+	srv.RateWindow = *rateWindow
+	srv.MaxClients = *maxClients
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v)\n", addr, *stratum, *shift)
+	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, workers %d, ratelimit %d/%v)\n",
+		addr, *stratum, *shift, *workers, *rateLimit, *rateWindow)
 
+	printStats := func() {
+		snap := srv.Metrics().Snapshot()
+		fmt.Printf("%s rate-table=%d\n", snap, srv.RateTableSize())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	tick := time.NewTicker(30 * time.Second)
+	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()
 	for {
 		select {
 		case <-sig:
-			fmt.Printf("served %d requests\n", srv.Served())
+			printStats()
 			srv.Close()
 			return
 		case <-tick.C:
-			fmt.Printf("served %d requests\n", srv.Served())
+			printStats()
 		}
 	}
 }

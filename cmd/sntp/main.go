@@ -1,11 +1,16 @@
 // Command sntp is a simple SNTP query tool over real UDP: it performs
 // one or more exchanges with an NTP server and prints the measured
 // offset and delay, optionally with the Android- or Windows-Mobile-
-// style client behaviours documented in §2 of the paper.
+// style client behaviours documented in §2 of the paper. The -drop,
+// -dup, -corrupt and -kod flags route the exchanges through the
+// seeded fault-injection harness, for exercising the retry machinery
+// against a healthy server.
 //
 // Usage:
 //
-//	sntp [-server host:123] [-n count] [-interval 5s] [-profile default|android|windowsmobile]
+//	sntp [-server host:123] [-n count] [-interval 5s] [-timeout 3s]
+//	     [-profile default|android|windowsmobile]
+//	     [-drop 0] [-dup 0] [-corrupt 0] [-kod 0] [-faultseed 1]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"time"
 
 	"mntp/internal/clock"
+	"mntp/internal/exchange"
 	"mntp/internal/ntpnet"
 	"mntp/internal/sntp"
 )
@@ -23,7 +29,13 @@ func main() {
 	server := flag.String("server", "0.pool.ntp.org:123", "NTP server")
 	count := flag.Int("n", 1, "number of queries")
 	interval := flag.Duration("interval", 5*time.Second, "interval between queries")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-exchange reply timeout")
 	profile := flag.String("profile", "default", "client profile: default, android, windowsmobile")
+	drop := flag.Float64("drop", 0, "fault injection: exchange loss probability")
+	dup := flag.Float64("dup", 0, "fault injection: reply duplication probability")
+	corrupt := flag.Float64("corrupt", 0, "fault injection: reply bit-flip probability")
+	kod := flag.Float64("kod", 0, "fault injection: kiss-of-death probability")
+	faultSeed := flag.Int64("faultseed", 1, "fault injection seed")
 	flag.Parse()
 
 	var cfg sntp.Config
@@ -39,8 +51,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	c := sntp.New(clock.System{}, &ntpnet.Client{Timeout: 3 * time.Second},
-		sntp.WallSleeper{}, cfg)
+	var transport exchange.Transport = &ntpnet.Client{Timeout: *timeout}
+	var faults *ntpnet.FaultTransport
+	if *drop > 0 || *dup > 0 || *corrupt > 0 || *kod > 0 {
+		faults = &ntpnet.FaultTransport{
+			Inner: transport, Seed: *faultSeed,
+			DropProb: *drop, DupProb: *dup, CorruptProb: *corrupt, KoDProb: *kod,
+		}
+		transport = faults
+	}
+
+	c := sntp.New(clock.System{}, transport, sntp.WallSleeper{}, cfg)
 	for i := 0; i < *count; i++ {
 		if i > 0 {
 			time.Sleep(*interval)
@@ -53,5 +74,10 @@ func main() {
 		fmt.Printf("%s: server=%s stratum=%d offset=%+.3fms delay=%.3fms\n",
 			time.Now().Format(time.RFC3339), s.Server, s.Stratum,
 			s.Offset.Seconds()*1000, s.Delay.Seconds()*1000)
+	}
+	if faults != nil {
+		st := faults.Stats()
+		fmt.Printf("faults: exchanges=%d dropped=%d duplicated=%d corrupted=%d kod=%d\n",
+			st.Exchanges, st.Dropped, st.Duplicated, st.Corrupted, st.KoDs)
 	}
 }

@@ -19,14 +19,19 @@ import (
 )
 
 func main() {
-	// A local server whose clock is 250 ms ahead of ours.
+	// A local server whose clock is 250 ms ahead of ours: four serve
+	// goroutines share the socket, and a (generous) rate limit keeps
+	// the bounded abusive-client table in play.
 	srv := ntpnet.NewServer(&clock.Fixed{Base: clock.System{}, Error: 250 * time.Millisecond}, 2)
+	srv.Workers = 4
+	srv.RateLimit = 1000
+	srv.RateWindow = time.Minute
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("local NTP server on %s, clock +250ms\n\n", addr)
+	fmt.Printf("local NTP server on %s, clock +250ms, 4 workers\n\n", addr)
 
 	transport := &ntpnet.Client{Timeout: 2 * time.Second}
 
@@ -76,5 +81,6 @@ func main() {
 		}
 	}
 	c.Run(8 * time.Second)
-	fmt.Printf("\nserver answered %d requests\n", srv.Served())
+	fmt.Printf("\nserver metrics: %s (rate table %d clients)\n",
+		srv.Metrics().Snapshot(), srv.RateTableSize())
 }

@@ -204,8 +204,13 @@ type Client struct {
 	// (self-tuning, the paper's §7 future work).
 	Tuner Tuner
 
-	filter   *Filter
-	minDelay time.Duration // smallest delay seen this cycle (0 = none)
+	filter *Filter
+	// minDelay is the smallest delay seen this cycle; haveMinDelay
+	// distinguishes "no sample yet" from a genuine zero-delay anchor
+	// (exchange.Measure floors pathological delays to exactly 0, so 0
+	// cannot double as the sentinel).
+	minDelay     time.Duration
+	haveMinDelay bool
 	start    time.Time
 	requests int
 	freqCorr float64
@@ -263,7 +268,7 @@ func (c *Client) runCycle(total time.Duration) {
 
 	// Step 1–3: fresh state.
 	c.filter = NewFilter(p.ResidualFloor, p.MinTrendSamples)
-	c.minDelay = 0
+	c.minDelay, c.haveMinDelay = 0, false
 	startRequests := c.requests
 	c.cycle = CycleStats{}
 	c.cycleSq, c.cycleN = 0, 0
@@ -505,8 +510,9 @@ func (c *Client) offer(phase Phase, offset time.Duration, h hints.Hints, update 
 // per-cycle minimum. The first sample of a cycle always passes and
 // anchors the gate.
 func (c *Client) delayAcceptable(d time.Duration) bool {
-	if c.minDelay == 0 || d < c.minDelay {
+	if !c.haveMinDelay || d < c.minDelay {
 		c.minDelay = d
+		c.haveMinDelay = true
 		return true
 	}
 	gate := c.Params.MaxSampleDelay

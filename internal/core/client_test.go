@@ -391,3 +391,24 @@ func TestDelayGateWorksOnCellularScaleDelays(t *testing.T) {
 		}
 	}
 }
+
+func TestDelayGateSurvivesZeroDelayAnchor(t *testing.T) {
+	// exchange.Measure floors pathological delays to exactly 0, so a
+	// zero-delay sample is a legitimate anchor — the gate must not
+	// treat it as the "no sample yet" state, or the next sample
+	// (however slow) re-anchors the gate and passes.
+	c := New(nil, nil, nil, nil, nil, DefaultParams("pool"))
+	if !c.delayAcceptable(0) {
+		t.Fatal("first (anchoring) zero-delay sample rejected")
+	}
+	// The gate is now 3·0 + 30 ms.
+	if c.delayAcceptable(400 * time.Millisecond) {
+		t.Error("400ms sample passed a 30ms gate: zero anchor treated as unset")
+	}
+	if !c.delayAcceptable(20 * time.Millisecond) {
+		t.Error("20ms sample within the 30ms gate rejected")
+	}
+	if c.delayAcceptable(400 * time.Millisecond) {
+		t.Error("rejected sample re-anchored the gate")
+	}
+}

@@ -23,6 +23,17 @@ type Transport interface {
 	Exchange(server string, req *ntppkt.Packet) (resp *ntppkt.Packet, t4 time.Time, err error)
 }
 
+// TransportFunc adapts a function to Transport, the way
+// http.HandlerFunc adapts handlers. Tests and transport decorators
+// (counting, fault injection) use it to wrap an inner transport
+// without declaring a type.
+type TransportFunc func(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error)
+
+// Exchange implements Transport.
+func (f TransportFunc) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
+	return f(server, req)
+}
+
 // Sample is one completed measurement: the four timestamps and the
 // derived clock offset θ and round-trip delay δ.
 //

@@ -147,3 +147,26 @@ func TestMeasureClientFastSeesNegativeOffset(t *testing.T) {
 		t.Errorf("offset = %v, want ~-150ms", s.Offset)
 	}
 }
+
+func TestTransportFuncAdapts(t *testing.T) {
+	clk := &manualClock{t: epoch}
+	inner := &scriptedTransport{
+		upDelay: 10 * time.Millisecond, downDelay: 10 * time.Millisecond,
+		serverAhead: 50 * time.Millisecond, clk: clk,
+	}
+	var calls int
+	tr := TransportFunc(func(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
+		calls++
+		return inner.Exchange(server, req)
+	})
+	s, err := Measure(clk, tr, "srv", ntppkt.Version4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if s.Offset != 50*time.Millisecond {
+		t.Errorf("offset = %v, want 50ms", s.Offset)
+	}
+}

@@ -1,0 +1,130 @@
+package ntpnet
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numLatencyBuckets is the bucket count of the latency histogram:
+// len(latencyBounds) bounded buckets plus the overflow.
+const numLatencyBuckets = len(latencyBounds) + 1
+
+// latencyBounds are the upper bounds of the request-latency histogram
+// buckets (receive timestamp to reply written). The last bucket is
+// unbounded.
+var latencyBounds = [...]time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+}
+
+// Metrics counts server outcomes. All counters are atomic: the serve
+// pool updates them concurrently without a lock, and readers may
+// snapshot them at any time.
+type Metrics struct {
+	// Served counts valid client requests answered with time.
+	Served atomic.Uint64
+	// Limited counts requests answered with a RATE kiss-of-death.
+	Limited atomic.Uint64
+	// Dropped counts decodable packets ignored for not being mode-3
+	// client requests.
+	Dropped atomic.Uint64
+	// Malformed counts datagrams that failed to decode.
+	Malformed atomic.Uint64
+	// WriteErrors counts replies the socket failed to send.
+	WriteErrors atomic.Uint64
+
+	latency [numLatencyBuckets]atomic.Uint64
+}
+
+// observeLatency records one request-handling latency.
+func (m *Metrics) observeLatency(d time.Duration) {
+	for i, b := range latencyBounds {
+		if d <= b {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBounds)].Add(1)
+}
+
+// Snapshot is a consistent-enough copy of the counters for reporting
+// (individual counters are read atomically; the set is not a single
+// atomic transaction, which is fine for monitoring).
+type Snapshot struct {
+	Served, Limited, Dropped, Malformed, WriteErrors uint64
+	// Latency holds the histogram counts; Latency[i] counts requests
+	// handled within LatencyBounds()[i], the last entry the overflow.
+	Latency [numLatencyBuckets]uint64
+}
+
+// LatencyBounds returns the histogram bucket upper bounds, matching
+// Snapshot.Latency[:len(bounds)]; the final Latency entry counts
+// requests slower than the last bound.
+func LatencyBounds() []time.Duration {
+	out := make([]time.Duration, len(latencyBounds))
+	copy(out, latencyBounds[:])
+	return out
+}
+
+// Snapshot reads all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	s.Served = m.Served.Load()
+	s.Limited = m.Limited.Load()
+	s.Dropped = m.Dropped.Load()
+	s.Malformed = m.Malformed.Load()
+	s.WriteErrors = m.WriteErrors.Load()
+	for i := range m.latency {
+		s.Latency[i] = m.latency[i].Load()
+	}
+	return s
+}
+
+// LatencyQuantile returns the histogram bucket bound at or above the
+// q-th quantile (0 < q ≤ 1) of handled requests, and false when
+// nothing has been observed. The overflow bucket reports the largest
+// finite bound (the true value is "greater than" it).
+func (s Snapshot) LatencyQuantile(q float64) (time.Duration, bool) {
+	var total uint64
+	for _, c := range s.Latency {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Latency {
+		cum += c
+		if cum >= target {
+			if i < len(latencyBounds) {
+				return latencyBounds[i], true
+			}
+			return latencyBounds[len(latencyBounds)-1], true
+		}
+	}
+	return latencyBounds[len(latencyBounds)-1], true
+}
+
+// String renders a one-line summary for periodic logging.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served=%d limited=%d dropped=%d malformed=%d write-errors=%d",
+		s.Served, s.Limited, s.Dropped, s.Malformed, s.WriteErrors)
+	if p50, ok := s.LatencyQuantile(0.50); ok {
+		p99, _ := s.LatencyQuantile(0.99)
+		fmt.Fprintf(&b, " latency p50≤%v p99≤%v", p50, p99)
+	}
+	return b.String()
+}

@@ -3,173 +3,29 @@
 // clock.Clock, and a client transport satisfying exchange.Transport,
 // so the same SNTP/NTP/MNTP client code that runs in simulation runs
 // against real sockets.
+//
+// The server side is built for production traffic: a configurable
+// pool of serve goroutines shares the socket, per-client rate
+// limiting is tracked in a bounded table with window-stamped
+// eviction, and every outcome (served, rate-limited, dropped,
+// malformed, write errors) plus a request-handling latency histogram
+// is counted in Metrics. The client side validates replies in the
+// receive loop — a stray, duplicated or spoofed datagram whose origin
+// does not echo the request is skipped, not treated as the answer.
+// FaultTransport wraps any transport with seeded loss, delay,
+// duplication, corruption and kiss-of-death injection for robustness
+// testing.
 package ntpnet
 
 import (
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"mntp/internal/clock"
 	"mntp/internal/ntppkt"
-	"mntp/internal/ntptime"
 )
-
-// Server is a UDP NTP server. It answers client (mode 3) requests with
-// timestamps from its clock; malformed packets are dropped. An
-// optional per-client rate limit answers abusive clients with a
-// RATE kiss-of-death packet, as pool servers do.
-type Server struct {
-	Clock   clock.Clock
-	Stratum uint8
-	RefID   [4]byte
-	// RateLimit, if positive, is the maximum requests per client
-	// address per RateWindow before RATE KoD responses are sent.
-	RateLimit  int
-	RateWindow time.Duration
-
-	conn *net.UDPConn
-	wg   sync.WaitGroup
-
-	mu      sync.Mutex
-	served  int
-	limited int
-	buckets map[string]*rateBucket
-}
-
-type rateBucket struct {
-	windowStart time.Time
-	count       int
-}
-
-// NewServer creates a server with the given clock and stratum.
-func NewServer(clk clock.Clock, stratum uint8) *Server {
-	return &Server{Clock: clk, Stratum: stratum, RefID: [4]byte{'L', 'O', 'C', 'L'}}
-}
-
-// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts the
-// serve loop. It returns the bound address.
-func (s *Server) Listen(addr string) (*net.UDPAddr, error) {
-	ua, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ntpnet: resolve %q: %w", addr, err)
-	}
-	conn, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, fmt.Errorf("ntpnet: listen %q: %w", addr, err)
-	}
-	s.conn = conn
-	s.wg.Add(1)
-	go s.serve()
-	return conn.LocalAddr().(*net.UDPAddr), nil
-}
-
-// Close stops the server and waits for the serve loop to exit.
-func (s *Server) Close() error {
-	if s.conn == nil {
-		return nil
-	}
-	err := s.conn.Close()
-	s.wg.Wait()
-	return err
-}
-
-// Served returns the number of requests answered.
-func (s *Server) Served() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.served
-}
-
-// RateLimited returns the number of requests answered with RATE KoD.
-func (s *Server) RateLimited() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.limited
-}
-
-// overLimit reports whether the client address has exceeded the rate
-// limit, updating its bucket.
-func (s *Server) overLimit(addr string, now time.Time) bool {
-	if s.RateLimit <= 0 {
-		return false
-	}
-	window := s.RateWindow
-	if window == 0 {
-		window = time.Minute
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.buckets == nil {
-		s.buckets = make(map[string]*rateBucket)
-	}
-	b := s.buckets[addr]
-	if b == nil || now.Sub(b.windowStart) >= window {
-		s.buckets[addr] = &rateBucket{windowStart: now, count: 1}
-		return false
-	}
-	b.count++
-	return b.count > s.RateLimit
-}
-
-func (s *Server) serve() {
-	defer s.wg.Done()
-	buf := make([]byte, 512)
-	out := make([]byte, 0, ntppkt.HeaderLen)
-	var req ntppkt.Packet
-	for {
-		n, peer, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
-			return // closed
-		}
-		recv := s.Clock.Now()
-		if err := req.DecodeInto(buf[:n]); err != nil {
-			continue
-		}
-		if req.Mode != ntppkt.ModeClient {
-			continue
-		}
-		version := req.Version
-		if version < ntppkt.Version3 || version > ntppkt.Version4 {
-			version = ntppkt.Version4
-		}
-		if s.overLimit(peer.IP.String(), time.Now()) {
-			kod := ntppkt.Packet{
-				Leap: ntppkt.LeapNotSync, Version: version, Mode: ntppkt.ModeServer,
-				Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissRate,
-				Origin: req.Transmit,
-			}
-			out = kod.Encode(out[:0])
-			s.conn.WriteToUDP(out, peer)
-			s.mu.Lock()
-			s.limited++
-			s.mu.Unlock()
-			continue
-		}
-		resp := ntppkt.Packet{
-			Leap:      ntppkt.LeapNone,
-			Version:   version,
-			Mode:      ntppkt.ModeServer,
-			Stratum:   s.Stratum,
-			Poll:      req.Poll,
-			Precision: -20,
-			RefID:     s.RefID,
-			RefTime:   ntptime.FromTime(recv.Add(-10 * time.Second)),
-			Origin:    req.Transmit,
-			Receive:   ntptime.FromTime(recv),
-			Transmit:  ntptime.FromTime(s.Clock.Now()),
-		}
-		out = resp.Encode(out[:0])
-		if _, err := s.conn.WriteToUDP(out, peer); err != nil {
-			continue
-		}
-		s.mu.Lock()
-		s.served++
-		s.mu.Unlock()
-	}
-}
 
 // Client is a UDP client transport implementing exchange.Transport.
 // Each Exchange opens a fresh ephemeral socket, as one-shot SNTP
@@ -184,7 +40,13 @@ type Client struct {
 // ErrTimeout is returned when no reply arrives within the timeout.
 var ErrTimeout = errors.New("ntpnet: request timed out")
 
-// Exchange implements exchange.Transport over UDP.
+// Exchange implements exchange.Transport over UDP. The receive loop
+// validates each datagram before accepting it as the reply: runts,
+// non-server modes and packets whose origin timestamp does not echo
+// req.Transmit (stray, duplicated or spoofed traffic) are skipped and
+// the wait continues until the genuine reply or the deadline. A
+// kiss-of-death reply echoing the origin is returned as-is — the
+// caller's ValidateServerReply turns it into ErrKissOfDeath.
 func (c *Client) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -210,6 +72,7 @@ func (c *Client) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, ti
 	}
 
 	buf := make([]byte, 512)
+	var resp ntppkt.Packet
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
@@ -219,10 +82,16 @@ func (c *Client) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, ti
 			return nil, time.Time{}, fmt.Errorf("ntpnet: recv: %w", err)
 		}
 		t4 := clk.Now()
-		resp, err := ntppkt.Decode(buf[:n])
-		if err != nil {
+		if err := resp.DecodeInto(buf[:n]); err != nil {
 			continue // runt datagram from someone else; keep waiting
 		}
-		return resp, t4, nil
+		if resp.Mode != ntppkt.ModeServer && resp.Mode != ntppkt.ModeBroadcast {
+			continue // not a reply at all
+		}
+		if resp.Origin != req.Transmit {
+			continue // stray/spoofed reply to someone else's request
+		}
+		out := resp
+		return &out, t4, nil
 	}
 }

@@ -2,13 +2,16 @@ package ntpnet
 
 import (
 	"errors"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"mntp/internal/clock"
 	"mntp/internal/exchange"
 	"mntp/internal/ntppkt"
+	"mntp/internal/ntptime"
 	"mntp/internal/sntp"
 )
 
@@ -179,4 +182,242 @@ func TestSNTPClientDoesNotRetryKoD(t *testing.T) {
 	if total := srv.Served() + srv.RateLimited(); total > 3 {
 		t.Errorf("server saw %d requests; client retried into the rate limit", total)
 	}
+}
+
+// fakeServer runs a scripted one-shot UDP endpoint: it reads one
+// request and hands it to reply to send whatever datagrams it wants.
+func fakeServer(t *testing.T, reply func(pc *net.UDPConn, peer *net.UDPAddr, req ntppkt.Packet)) string {
+	t.Helper()
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 512)
+		n, peer, err := pc.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		var req ntppkt.Packet
+		if err := req.DecodeInto(buf[:n]); err != nil {
+			return
+		}
+		reply(pc, peer, req)
+	}()
+	return pc.LocalAddr().String()
+}
+
+func TestExchangeSkipsSpoofedAndStrayReplies(t *testing.T) {
+	// The server sends two decodable non-answers before the genuine
+	// reply: a mode-1 packet echoing the origin, and a mode-4 reply
+	// whose origin does not echo the request (spoofed / someone
+	// else's). The client's receive loop must skip both and accept
+	// only the genuine reply; treating either as the answer fails the
+	// whole exchange with ErrBogusOrigin or ErrBadMode.
+	addr := fakeServer(t, func(pc *net.UDPConn, peer *net.UDPAddr, req ntppkt.Packet) {
+		now := time.Now()
+		stray := ntppkt.Packet{
+			Leap: ntppkt.LeapNone, Version: req.Version, Mode: ntppkt.ModeSymActive,
+			Stratum: 2, Origin: req.Transmit,
+			Receive: ntptime.FromTime(now), Transmit: ntptime.FromTime(now),
+		}
+		pc.WriteToUDP(stray.Encode(nil), peer)
+		spoof := ntppkt.Packet{
+			Leap: ntppkt.LeapNone, Version: req.Version, Mode: ntppkt.ModeServer,
+			Stratum: 1, Origin: ntptime.FromTime(now.Add(time.Hour)), // wrong echo
+			Receive:  ntptime.FromTime(now.Add(time.Hour)),
+			Transmit: ntptime.FromTime(now.Add(time.Hour)),
+		}
+		pc.WriteToUDP(spoof.Encode(nil), peer)
+		genuine := ntppkt.Packet{
+			Leap: ntppkt.LeapNone, Version: req.Version, Mode: ntppkt.ModeServer,
+			Stratum: 2, Origin: req.Transmit,
+			Receive: ntptime.FromTime(now), Transmit: ntptime.FromTime(now),
+		}
+		pc.WriteToUDP(genuine.Encode(nil), peer)
+	})
+
+	c := &Client{Timeout: 2 * time.Second}
+	s, err := exchange.Measure(clock.System{}, c, addr, ntppkt.Version4, true)
+	if err != nil {
+		t.Fatalf("exchange failed on stray traffic: %v", err)
+	}
+	if s.Offset < -time.Second || s.Offset > time.Second {
+		t.Errorf("offset = %v: accepted the spoofed reply?", s.Offset)
+	}
+}
+
+// manualClock is a thread-safe settable clock (the serve pool reads
+// it concurrently with the test advancing it).
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (m *manualClock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+func (m *manualClock) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.t = m.t.Add(d)
+	m.mu.Unlock()
+}
+
+func TestRateLimiterFollowsServerClock(t *testing.T) {
+	// The limiter must run on the server's clock, like every protocol
+	// timestamp: when the clock jumps past the window, the bucket is
+	// expired even though almost no wall time passed. A limiter
+	// stamped with time.Now() keeps limiting here.
+	mc := &manualClock{t: time.Date(2016, 11, 14, 0, 0, 0, 0, time.UTC)}
+	srv := NewServer(mc, 2)
+	srv.RateLimit = 1
+	srv.RateWindow = time.Minute
+	srv.Workers = 1
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &Client{Timeout: 2 * time.Second}
+	if _, err := exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	if _, err := exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true); !errors.Is(err, ntppkt.ErrKissOfDeath) {
+		t.Fatalf("second request in window: err = %v, want KoD", err)
+	}
+	mc.Advance(2 * time.Minute) // server clock leaves the window
+	if _, err := exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true); err != nil {
+		t.Fatalf("request after server-clock window expiry: %v (limiter not on server clock?)", err)
+	}
+}
+
+func TestRateTableBoundedUnderManyClients(t *testing.T) {
+	const maxEntries = 1024
+	rl := newRateLimiter(10, time.Minute, maxEntries)
+	now := time.Unix(1479081600, 0)
+	var key addrKey
+	for i := 0; i < 10000; i++ {
+		key[12] = byte(i >> 16)
+		key[13] = byte(i >> 8)
+		key[14] = byte(i)
+		rl.over(key, now.Add(time.Duration(i)*time.Millisecond))
+		if s := rl.size(); s > maxEntries {
+			t.Fatalf("table grew to %d entries (cap %d) after %d clients", s, maxEntries, i+1)
+		}
+	}
+	if s := rl.size(); s != maxEntries {
+		t.Errorf("table size = %d, want %d (full)", s, maxEntries)
+	}
+	// A new client past the window expires every stale bucket at once.
+	key[11] = 0xfe
+	rl.over(key, now.Add(time.Hour))
+	if s := rl.size(); s > 2 {
+		t.Errorf("expired buckets survived eviction: size = %d", s)
+	}
+}
+
+func TestServePoolConcurrentClients(t *testing.T) {
+	// Many concurrent clients against a multi-worker server: every
+	// exchange must complete with its own (sane) reply — no lost or
+	// misattributed responses.
+	srv := NewServer(clock.System{}, 2)
+	srv.Workers = 8
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients, perClient = 24, 20
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			c := &Client{Timeout: 5 * time.Second}
+			for j := 0; j < perClient; j++ {
+				s, err := exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if s.Offset < -time.Second || s.Offset > time.Second {
+					errs <- fmt.Errorf("misattributed reply: offset %v", s.Offset)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Served(); got != clients*perClient {
+		t.Errorf("served = %d, want %d", got, clients*perClient)
+	}
+}
+
+func TestServerMetricsCounters(t *testing.T) {
+	srv, addr := startServer(t, clock.System{})
+	d, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Write(make([]byte, 10)) // malformed (runt)
+	nonClient := ntppkt.Packet{Version: ntppkt.Version4, Mode: ntppkt.ModeServer}
+	d.Write(nonClient.Encode(nil)) // dropped (not mode 3)
+
+	c := &Client{Timeout: 2 * time.Second}
+	if _, err := exchange.Measure(clock.System{}, c, addr, ntppkt.Version4, true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var snap Snapshot
+	for time.Now().Before(deadline) {
+		snap = srv.Metrics().Snapshot()
+		if snap.Malformed >= 1 && snap.Dropped >= 1 && snap.Served >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.Malformed != 1 || snap.Dropped != 1 || snap.Served != 1 {
+		t.Fatalf("snapshot = %+v, want malformed=1 dropped=1 served=1", snap)
+	}
+	var latTotal uint64
+	for _, c := range snap.Latency {
+		latTotal += c
+	}
+	if latTotal != 1 {
+		t.Errorf("latency histogram total = %d, want 1", latTotal)
+	}
+	if q, ok := snap.LatencyQuantile(0.99); !ok || q <= 0 {
+		t.Errorf("LatencyQuantile = %v, %v", q, ok)
+	}
+	if s := snap.String(); s == "" {
+		t.Error("empty snapshot string")
+	}
+}
+
+func BenchmarkServePool(b *testing.B) {
+	srv := NewServer(clock.System{}, 2)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		c := &Client{Timeout: 5 * time.Second}
+		for pb.Next() {
+			if _, err := exchange.Measure(clock.System{}, c, addr.String(), ntppkt.Version4, true); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }

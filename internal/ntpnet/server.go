@@ -1,0 +1,172 @@
+package ntpnet
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"mntp/internal/clock"
+	"mntp/internal/ntppkt"
+	"mntp/internal/ntptime"
+)
+
+// Server is a UDP NTP server. It answers client (mode 3) requests with
+// timestamps from its clock; malformed packets are dropped. An
+// optional per-client rate limit answers abusive clients with a
+// RATE kiss-of-death packet, as pool servers do.
+//
+// A pool of Workers goroutines shares the socket so the server scales
+// with cores; each worker reuses its read and write buffers, so the
+// steady-state serving path does not allocate per packet. The
+// rate-limit table is bounded (MaxClients) with window-stamped
+// eviction, and all outcomes are counted in Metrics.
+type Server struct {
+	Clock   clock.Clock
+	Stratum uint8
+	RefID   [4]byte
+	// RateLimit, if positive, is the maximum requests per client
+	// address per RateWindow before RATE KoD responses are sent.
+	RateLimit  int
+	RateWindow time.Duration
+	// MaxClients bounds the rate-limit table (default
+	// DefaultMaxClients). When full, expired buckets are evicted
+	// first, then the oldest window.
+	MaxClients int
+	// Workers is the number of serve goroutines sharing the socket
+	// (default GOMAXPROCS). All fields above must be set before
+	// Listen.
+	Workers int
+
+	conn    *net.UDPConn
+	wg      sync.WaitGroup
+	limiter *rateLimiter
+	metrics Metrics
+}
+
+// NewServer creates a server with the given clock and stratum.
+func NewServer(clk clock.Clock, stratum uint8) *Server {
+	return &Server{Clock: clk, Stratum: stratum, RefID: [4]byte{'L', 'O', 'C', 'L'}}
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts the
+// serve pool. It returns the bound address.
+func (s *Server) Listen(addr string) (*net.UDPAddr, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ntpnet: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("ntpnet: listen %q: %w", addr, err)
+	}
+	s.conn = conn
+	if s.RateLimit > 0 {
+		s.limiter = newRateLimiter(s.RateLimit, s.RateWindow, s.MaxClients)
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.serve()
+	}
+	return conn.LocalAddr().(*net.UDPAddr), nil
+}
+
+// Close stops the server and waits for every serve goroutine to exit.
+func (s *Server) Close() error {
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Metrics returns the server's counters for monitoring. The pointer
+// is valid for the server's lifetime; counters are atomic.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Served returns the number of requests answered.
+func (s *Server) Served() int { return int(s.metrics.Served.Load()) }
+
+// RateLimited returns the number of requests answered with RATE KoD.
+func (s *Server) RateLimited() int { return int(s.metrics.Limited.Load()) }
+
+// RateTableSize returns the current rate-limit table population
+// (0 when rate limiting is off).
+func (s *Server) RateTableSize() int {
+	if s.limiter == nil {
+		return 0
+	}
+	return s.limiter.size()
+}
+
+// serve is one worker of the pool. Each worker owns its buffers;
+// *net.UDPConn reads and writes are safe for concurrent use.
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 512)
+	out := make([]byte, 0, ntppkt.HeaderLen)
+	var req ntppkt.Packet
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		recv := s.Clock.Now()
+		if err := req.DecodeInto(buf[:n]); err != nil {
+			s.metrics.Malformed.Add(1)
+			continue
+		}
+		if req.Mode != ntppkt.ModeClient {
+			s.metrics.Dropped.Add(1)
+			continue
+		}
+		version := req.Version
+		if version < ntppkt.Version3 || version > ntppkt.Version4 {
+			version = ntppkt.Version4
+		}
+		// The limiter runs on the server's clock, like every protocol
+		// timestamp: under a simulated or offset clock the windows
+		// must follow the clock that stamps the packets, not the
+		// wall.
+		if s.limiter != nil && s.limiter.over(keyFromIP(peer.IP), recv) {
+			kod := ntppkt.Packet{
+				Leap: ntppkt.LeapNotSync, Version: version, Mode: ntppkt.ModeServer,
+				Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissRate,
+				Origin: req.Transmit,
+			}
+			out = kod.Encode(out[:0])
+			if _, err := s.conn.WriteToUDP(out, peer); err != nil {
+				s.metrics.WriteErrors.Add(1)
+				continue
+			}
+			s.metrics.Limited.Add(1)
+			continue
+		}
+		resp := ntppkt.Packet{
+			Leap:      ntppkt.LeapNone,
+			Version:   version,
+			Mode:      ntppkt.ModeServer,
+			Stratum:   s.Stratum,
+			Poll:      req.Poll,
+			Precision: -20,
+			RefID:     s.RefID,
+			RefTime:   ntptime.FromTime(recv.Add(-10 * time.Second)),
+			Origin:    req.Transmit,
+			Receive:   ntptime.FromTime(recv),
+			Transmit:  ntptime.FromTime(s.Clock.Now()),
+		}
+		out = resp.Encode(out[:0])
+		if _, err := s.conn.WriteToUDP(out, peer); err != nil {
+			s.metrics.WriteErrors.Add(1)
+			continue
+		}
+		s.metrics.observeLatency(s.Clock.Now().Sub(recv))
+		s.metrics.Served.Add(1)
+	}
+}
