@@ -5,11 +5,17 @@
 package mntp
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"mntp/internal/clock"
 	"mntp/internal/core"
+	"mntp/internal/exchange"
 	"mntp/internal/experiments"
+	"mntp/internal/ntppkt"
+	"mntp/internal/ntptime"
+	"mntp/internal/sources"
 	"mntp/internal/stats"
 	"mntp/internal/testbed"
 	"mntp/internal/tuner"
@@ -162,6 +168,74 @@ func BenchmarkAblationNoGatingNoFilter(b *testing.B) {
 
 func BenchmarkAblationNoFalseTickerRejection(b *testing.B) {
 	ablationRun(b, func(p *core.Params) { p.DisableFalseTickerRejection = true })
+}
+
+// --- Source pool: fan-out plus selection over N in-memory sources.
+
+// benchTransport answers instantly with the system clock's time
+// (shifted for the last source, which acts as a falseticker) so the
+// bench measures pool machinery, not network waits.
+func benchTransport(n int) exchange.Transport {
+	clk := clock.System{}
+	return exchange.TransportFunc(func(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
+		now := clk.Now()
+		if server == fmt.Sprintf("src%d", n-1) {
+			now = now.Add(500 * time.Millisecond)
+		}
+		ts := ntptime.FromTime(now)
+		return &ntppkt.Packet{
+			Leap: ntppkt.LeapNone, Version: req.Version, Mode: ntppkt.ModeServer,
+			Stratum: 2, Origin: req.Transmit, Receive: ts, Transmit: ts,
+		}, clk.Now(), nil
+	})
+}
+
+func BenchmarkPoolFanOutSelect(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("sources=%d", n), func(b *testing.B) {
+			servers := make([]string, n)
+			for i := range servers {
+				servers[i] = fmt.Sprintf("src%d", i)
+			}
+			pool := sources.New(clock.System{}, benchTransport(n), sources.Config{
+				Servers: servers, Parallelism: 4,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := pool.Round()
+				var samples []exchange.Sample
+				var idxs []int
+				for _, o := range res.Outcomes {
+					if o.OK {
+						samples = append(samples, o.Sample)
+						idxs = append(idxs, o.Index)
+					}
+				}
+				if sel := pool.SelectCombine(samples, idxs); !sel.OK {
+					b.Fatal("bench round found no consensus")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMarzulloIntersection(b *testing.B) {
+	// 50 sources: 35 agreeing around zero, 15 falsetickers spread out.
+	var ivals []sources.Interval
+	for i := 0; i < 35; i++ {
+		mid := float64(i%7) * 0.001
+		ivals = append(ivals, sources.Interval{Lo: mid - 0.05, Mid: mid, Hi: mid + 0.05})
+	}
+	for i := 0; i < 15; i++ {
+		mid := 1.0 + float64(i)
+		ivals = append(ivals, sources.Interval{Lo: mid - 0.01, Mid: mid, Hi: mid + 0.01})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sources.Marzullo(ivals) == nil {
+			b.Fatal("majority not found")
+		}
+	}
 }
 
 // --- Micro-benchmarks of hot paths.

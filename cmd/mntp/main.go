@@ -13,7 +13,8 @@
 // Usage:
 //
 //	mntp -transport sim [-duration 1h] [-seed 7]
-//	mntp -transport udp -server 0.pool.ntp.org:123 [-hints airport|iwconfig|none] [-hints-cmd PATH]
+//	mntp -transport udp -servers 0.pool.ntp.org:123,1.pool.ntp.org:123,2.pool.ntp.org:123 \
+//	     [-parallel 3] [-hints airport|iwconfig|none] [-hints-cmd PATH]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strings"
 	"time"
 
 	"mntp/internal/clock"
@@ -30,12 +32,16 @@ import (
 	"mntp/internal/netsim"
 	"mntp/internal/ntpnet"
 	"mntp/internal/sntp"
+	"mntp/internal/sources"
 	"mntp/internal/testbed"
 )
 
 func main() {
 	transport := flag.String("transport", "sim", "sim or udp")
-	server := flag.String("server", "0.pool.ntp.org:123", "NTP server (udp transport)")
+	server := flag.String("server", "0.pool.ntp.org:123", "NTP server (udp transport; ignored when -servers is set)")
+	servers := flag.String("servers", "", "comma-separated upstream pool (udp transport): warm-up fans out over all, regular phase tracks the top-ranked")
+	parallel := flag.Int("parallel", 3, "bound on concurrent fan-out exchanges (udp transport)")
+	exchTimeout := flag.Duration("exchange-timeout", 0, "per-exchange deadline enforced by the pool (0: transport timeout only)")
 	hintsMode := flag.String("hints", "none", "udp transport hint source: airport, iwconfig or none")
 	hintsCmd := flag.String("hints-cmd", "", "command printing airport/iwconfig output (default: the utility itself)")
 	iface := flag.String("iface", "wlan0", "wireless interface for iwconfig")
@@ -58,11 +64,29 @@ func main() {
 	case "sim":
 		runSim(*seed, params, *duration)
 	case "udp":
-		runUDP(*server, *hintsMode, *hintsCmd, *iface, *drift, params, *duration)
+		list := splitServers(*servers)
+		if len(list) == 0 {
+			list = []string{*server}
+		}
+		params.Parallelism = *parallel
+		params.ExchangeTimeout = *exchTimeout
+		runUDP(list, *hintsMode, *hintsCmd, *iface, *drift, params, *duration)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
 	}
+}
+
+// splitServers parses the -servers comma list, trimming whitespace and
+// dropping empty entries.
+func splitServers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func printEvent(e core.Event) {
@@ -75,8 +99,11 @@ func printEvent(e core.Event) {
 		fmt.Printf("%9.1fs %-7s %-12s drift=%+.2fppm\n",
 			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Drift*1e6)
 	case core.EventFalseTicker:
-		fmt.Printf("%9.1fs %-7s %-12s offset=%8.2fms\n",
-			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Offset.Seconds()*1000)
+		fmt.Printf("%9.1fs %-7s %-12s source=%s offset=%8.2fms\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Source, e.Offset.Seconds()*1000)
+	case core.EventKoD:
+		fmt.Printf("%9.1fs %-7s %-12s source=%s (hold-down engaged)\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Source)
 	}
 }
 
@@ -89,6 +116,7 @@ func runSim(seed int64, params core.Params, duration time.Duration) {
 		c := core.New(tb.TNClock, nil, tr, tb.Hints, p, params)
 		c.OnEvent = printEvent
 		c.Run(duration)
+		fmt.Printf("pool status:\n%s", sources.FormatStatus(c.PoolStatus()))
 	})
 	tb.Sched.Run()
 	fmt.Printf("done: TN clock true offset at end: %v\n", tb.TNClock.TrueOffset())
@@ -114,7 +142,7 @@ func (c *cmdHints) Hints() hints.Hints {
 	return h
 }
 
-func runUDP(server, hintsMode, hintsCmd, iface, driftPath string, params core.Params, duration time.Duration) {
+func runUDP(servers []string, hintsMode, hintsCmd, iface, driftPath string, params core.Params, duration time.Duration) {
 	var hp hints.Provider
 	switch hintsMode {
 	case "airport":
@@ -136,8 +164,15 @@ func runUDP(server, hintsMode, hintsCmd, iface, driftPath string, params core.Pa
 		os.Exit(2)
 	}
 
-	params.WarmupServers = []string{server, server, server}
-	params.RegularServer = server
+	if len(servers) == 1 {
+		// A single upstream keeps the paper's 3-query warm-up by
+		// occupying three pool slots (each exchange reaches a random
+		// pool member behind the name).
+		params.WarmupServers = []string{servers[0], servers[0], servers[0]}
+	} else {
+		params.WarmupServers = servers
+	}
+	params.RegularServer = servers[0]
 	c := core.New(clock.System{}, nil, &ntpnet.Client{Timeout: 3 * time.Second},
 		hp, sntp.WallSleeper{}, params)
 	c.OnEvent = printEvent
@@ -148,9 +183,10 @@ func runUDP(server, hintsMode, hintsCmd, iface, driftPath string, params core.Pa
 			fmt.Printf("drift file %s: previously measured %+.3f ppm\n", driftPath, prev*1e6)
 		}
 	}
-	fmt.Printf("MNTP over UDP against %s (hints: %s) for %v — measurement only\n",
-		server, hintsMode, duration)
+	fmt.Printf("MNTP over UDP against %s (hints: %s, parallel %d) for %v — measurement only\n",
+		strings.Join(servers, ","), hintsMode, params.Parallelism, duration)
 	c.Run(duration)
+	fmt.Printf("pool status:\n%s", sources.FormatStatus(c.PoolStatus()))
 	if est, ok := c.DriftEstimate(); ok {
 		fmt.Printf("measured drift estimate: %+.3f ppm\n", est*1e6)
 		if driftPath != "" {

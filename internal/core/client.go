@@ -8,6 +8,7 @@ import (
 	"mntp/internal/exchange"
 	"mntp/internal/hints"
 	"mntp/internal/ntppkt"
+	"mntp/internal/sources"
 	"mntp/internal/sysclock"
 )
 
@@ -42,6 +43,22 @@ type Params struct {
 	// unconditionally before gating (default 3; the paper records 10
 	// warm-up offsets before trusting the trend).
 	MinTrendSamples int
+	// Parallelism bounds the warm-up fan-out concurrency through the
+	// source pool. The default 1 queries serially in slot order,
+	// which is required when the transport is bound to a virtual-time
+	// process (netsim); real-UDP deployments raise it.
+	Parallelism int
+	// ExchangeTimeout is a wall-clock per-exchange deadline enforced
+	// by the source pool on top of the transport's own timeout (0 =
+	// rely on the transport). Leave 0 in virtual-time simulations.
+	ExchangeTimeout time.Duration
+	// KoDHoldDown is the base hold-down applied to a source that
+	// answers with kiss-of-death (default 1 h, doubling per repeat).
+	KoDHoldDown time.Duration
+	// FailoverTries is how many additional ranked sources a regular
+	// round may try after a failed exchange (default 0: failover then
+	// happens across rounds, as the failed source's score drops).
+	FailoverTries int
 	// MaxSampleDelay rejects samples whose round-trip delay exceeds
 	// it. The four-timestamp algebra bounds a sample's offset error
 	// by δ/2, so a high-delay sample is untrustworthy regardless of
@@ -147,6 +164,19 @@ const (
 	// EventDriftCorrected: the regular phase applied a frequency
 	// correction from the estimated drift.
 	EventDriftCorrected
+	// EventKoD: the source answered with a kiss-of-death code; the
+	// pool put it into exponential hold-down and it will not be
+	// queried again until the hold-down expires. Distinct from
+	// EventQueryFailed so rate-limited sources are never retried as
+	// if the loss were transient (mirroring internal/sntp's
+	// immediate retry abort).
+	EventKoD
+	// EventDropped: a reply arrived but the sample was discarded
+	// because the channel degraded while the exchange was in flight.
+	// Unlike EventDeferred, the request was already spent — the two
+	// kinds keep the emitted events consistent with the message
+	// counts of the §5.1 comparisons.
+	EventDropped
 )
 
 // String renders the event kind.
@@ -164,6 +194,10 @@ func (k EventKind) String() string {
 		return "false-ticker"
 	case EventDriftCorrected:
 		return "drift-corrected"
+	case EventKoD:
+		return "kod"
+	case EventDropped:
+		return "dropped"
 	default:
 		return "unknown"
 	}
@@ -181,6 +215,10 @@ type Event struct {
 	Hints     hints.Hints // channel reading at the attempt
 	Requests  int         // cumulative requests emitted
 	Drift     float64     // current drift estimate (s/s), if any
+	// Source names the upstream that produced the event, when one
+	// source is attributable (per-source query outcomes; empty for
+	// combined and channel-level events).
+	Source string
 }
 
 // Sleeper abstracts waiting (netsim.Proc in simulation,
@@ -205,6 +243,11 @@ type Client struct {
 	Tuner Tuner
 
 	filter *Filter
+	// pool owns the upstream sources: health state, concurrent
+	// fan-out, Marzullo selection and ranked failover. It persists
+	// across reset cycles — source health is a property of the
+	// upstreams, not of the filter state Algorithm 1 resets.
+	pool *sources.Pool
 	// minDelay is the smallest delay seen this cycle; haveMinDelay
 	// distinguishes "no sample yet" from a genuine zero-delay anchor
 	// (exchange.Measure floors pathological delays to exactly 0, so 0
@@ -231,14 +274,46 @@ func New(clk clock.Clock, adj sysclock.Adjuster, tr exchange.Transport,
 		params.DisableClockUpdates = true
 		params.DisableDriftCorrection = true
 	}
-	return &Client{
+	c := &Client{
 		Clock: clk, Adjuster: adj, Transport: tr, Hints: hp, Sleeper: sl,
 		Params: params,
 	}
+	// The pool's slots are the warm-up references plus the regular
+	// reference when it is a distinct name. Duplicate warm-up entries
+	// (the paper queries one pool name several times) stay distinct
+	// slots, each reaching a different pool member per exchange.
+	servers := append([]string(nil), params.WarmupServers...)
+	if params.RegularServer != "" {
+		found := false
+		for _, s := range servers {
+			if s == params.RegularServer {
+				found = true
+				break
+			}
+		}
+		if !found {
+			servers = append(servers, params.RegularServer)
+		}
+	}
+	c.pool = sources.New(clk, tr, sources.Config{
+		Servers:         servers,
+		Parallelism:     params.Parallelism,
+		ExchangeTimeout: params.ExchangeTimeout,
+		Version:         params.Version,
+		KoDBaseHold:     params.KoDHoldDown,
+		FailoverTries:   params.FailoverTries,
+	})
+	return c
 }
 
 // Requests returns the number of SNTP requests emitted so far.
 func (c *Client) Requests() int { return c.requests }
+
+// Pool exposes the client's source pool (for status dumps and tests).
+func (c *Client) Pool() *sources.Pool { return c.pool }
+
+// PoolStatus returns a health snapshot of every upstream source.
+func (c *Client) PoolStatus() []sources.SourceStatus { return c.pool.Status() }
 
 // DriftEstimate returns the current drift estimate.
 func (c *Client) DriftEstimate() (float64, bool) {
@@ -380,88 +455,122 @@ func (c *Client) favorableNow() (hints.Hints, bool) {
 	return h, c.Params.DisableGating || c.Params.Thresholds.Favorable(h)
 }
 
-// warmupRound queries the multiple warm-up references, rejects false
-// tickers, and offers the combined offset to the filter (steps 6–9).
-// No clock update happens during warm-up.
+// warmupRound fans out through the source pool with bounded
+// parallelism, screens falsetickers with Marzullo intersection plus
+// cluster pruning, and offers the combined offset to the filter
+// (steps 6–9). No clock update happens during warm-up. Requests are
+// billed per exchange actually sent: sources inside their KoD
+// hold-down are skipped without consuming a request.
 func (c *Client) warmupRound(h hints.Hints) {
+	res := c.pool.Round()
+	c.requests += res.Exchanges
+
 	var samples []exchange.Sample
-	for _, server := range c.Params.WarmupServers {
-		if hh, ok := c.favorableNow(); !ok {
+	var idxs []int
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Skipped:
+			// In KoD hold-down: no request sent, nothing to report.
+		case o.KoD:
 			c.emit(Event{
-				Elapsed: c.elapsed(), Phase: PhaseWarmup,
-				Kind: EventDeferred, Hints: hh, Requests: c.requests,
+				Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventKoD,
+				Hints: h, Requests: c.requests, Source: o.Source,
 			})
-			continue
-		}
-		c.requests++
-		s, err := exchange.Measure(c.Clock, c.Transport, server, c.Params.Version, true)
-		if err != nil {
+		case o.Err != nil:
 			c.emit(Event{
-				Elapsed: c.elapsed(), Phase: PhaseWarmup,
-				Kind: EventQueryFailed, Hints: h, Requests: c.requests,
+				Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventQueryFailed,
+				Hints: h, Requests: c.requests, Source: o.Source,
 			})
-			continue
-		}
-		if !c.delayAcceptable(s.Delay) {
+		case !c.delayAcceptable(o.Sample.Delay):
 			c.emit(Event{
 				Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventRejected,
-				Offset: s.Offset, Hints: h, Requests: c.requests,
+				Offset: o.Sample.Offset, Hints: h, Requests: c.requests,
+				Source: o.Source,
 			})
-			continue
+		default:
+			samples = append(samples, o.Sample)
+			idxs = append(idxs, o.Index)
 		}
-		if hh, ok := c.favorableNow(); !ok {
-			// The channel degraded during the exchange: the sample is
-			// suspect; drop it.
-			c.emit(Event{
-				Elapsed: c.elapsed(), Phase: PhaseWarmup,
-				Kind: EventDeferred, Hints: hh, Requests: c.requests,
-			})
-			continue
-		}
-		samples = append(samples, s)
 	}
 	if len(samples) == 0 {
 		return
 	}
+	if hh, ok := c.favorableNow(); !ok {
+		// The channel degraded while the round's exchanges were in
+		// flight: every sample is suspect; drop them. The requests
+		// were already spent, hence Dropped rather than Deferred.
+		c.emit(Event{
+			Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventDropped,
+			Hints: hh, Requests: c.requests,
+		})
+		return
+	}
 
-	kept := samples
-	if !c.Params.DisableFalseTickerRejection {
-		var rejected []exchange.Sample
-		kept, rejected = RejectFalseTickers(samples)
-		for _, r := range rejected {
+	var offset time.Duration
+	if c.Params.DisableFalseTickerRejection {
+		offset = CombineOffsets(samples)
+	} else {
+		sel := c.pool.SelectCombine(samples, idxs)
+		for _, fi := range sel.Falsetickers {
 			c.emit(Event{
 				Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventFalseTicker,
-				Offset: r.Offset, Hints: h, Requests: c.requests,
+				Offset: samples[fi].Offset, Hints: h, Requests: c.requests,
+				Source: samples[fi].Server,
 			})
 		}
+		if !sel.OK {
+			// No majority and no dominant-score source: the round is
+			// ambiguous; offering an average would poison the filter.
+			return
+		}
+		offset = sel.Offset
 	}
-	offset := CombineOffsets(kept)
 	c.offer(PhaseWarmup, offset, h, false)
 }
 
-// regularRound queries the single regular reference and, on
-// acceptance, corrects the system clock (steps 18–21).
+// regularRound queries the pool's top-ranked healthy source and, on
+// acceptance, corrects the system clock (steps 18–21). When the
+// source degrades — loss, KoD, rising delay — its score drops and
+// the next round fails over to the new top-ranked source (plus
+// optional in-round failover via Params.FailoverTries).
 func (c *Client) regularRound(h hints.Hints) {
-	c.requests++
-	s, err := exchange.Measure(c.Clock, c.Transport, c.Params.RegularServer, c.Params.Version, true)
-	if err != nil {
+	s, outs, err := c.pool.MeasureBest()
+	c.requests += len(outs)
+	for _, o := range outs {
+		if o.OK {
+			continue
+		}
+		kind := EventQueryFailed
+		if o.KoD {
+			kind = EventKoD
+		}
 		c.emit(Event{
-			Elapsed: c.elapsed(), Phase: PhaseRegular,
-			Kind: EventQueryFailed, Hints: h, Requests: c.requests,
+			Elapsed: c.elapsed(), Phase: PhaseRegular, Kind: kind,
+			Hints: h, Requests: c.requests, Source: o.Source,
 		})
+	}
+	if err != nil {
+		if len(outs) == 0 {
+			// Every source is held down: nothing was sent, which is a
+			// deferral in the message-accounting sense.
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseRegular, Kind: EventDeferred,
+				Hints: h, Requests: c.requests,
+			})
+		}
 		return
 	}
 	if !c.delayAcceptable(s.Delay) {
 		c.emit(Event{
 			Elapsed: c.elapsed(), Phase: PhaseRegular, Kind: EventRejected,
-			Offset: s.Offset, Hints: h, Requests: c.requests,
+			Offset: s.Offset, Hints: h, Requests: c.requests, Source: s.Server,
 		})
 		return
 	}
 	if hh, ok := c.favorableNow(); !ok {
 		c.emit(Event{
-			Elapsed: c.elapsed(), Phase: PhaseRegular,
-			Kind: EventDeferred, Hints: hh, Requests: c.requests,
+			Elapsed: c.elapsed(), Phase: PhaseRegular, Kind: EventDropped,
+			Hints: hh, Requests: c.requests, Source: s.Server,
 		})
 		return
 	}
@@ -530,7 +639,11 @@ func (c *Client) emit(e Event) {
 		c.cycle.Rejected++
 	case EventDeferred:
 		c.cycle.Deferred++
-	case EventQueryFailed:
+	case EventQueryFailed, EventKoD:
+		c.cycle.Failed++
+	case EventDropped:
+		// A dropped sample consumed a request without yielding an
+		// offset; for the tuner's purposes that is a failed attempt.
 		c.cycle.Failed++
 	}
 	if c.OnEvent != nil {

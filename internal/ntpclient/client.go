@@ -7,6 +7,7 @@ import (
 	"mntp/internal/clock"
 	"mntp/internal/exchange"
 	"mntp/internal/ntppkt"
+	"mntp/internal/sources"
 )
 
 // Config parameterizes the full NTP client.
@@ -68,9 +69,12 @@ type Client struct {
 	Config    Config
 
 	peers map[string]*peerFilter
-	// demobilized maps servers that sent kiss-of-death to the time
-	// polling may resume.
-	demobilized map[string]time.Time
+	// pool tracks per-server health: the reachability register,
+	// smoothed delay/jitter, kiss-of-death hold-downs (replacing the
+	// old fixed demobilization map) and falseticker demotions from
+	// selection. The client performs its own exchanges — the pool is
+	// fed through its Report methods.
+	pool *sources.Pool
 	// discipline state
 	freq     float64 // accumulated frequency correction (s/s)
 	pollExp  int     // current poll interval = MinPoll << pollExp
@@ -84,7 +88,12 @@ func New(clk clock.Adjustable, tr exchange.Transport, cfg Config) *Client {
 	c := &Client{
 		Clock: clk, Transport: tr, Config: cfg,
 		peers: make(map[string]*peerFilter),
-		freq:  cfg.InitialFreq,
+		pool: sources.New(clk, nil, sources.Config{
+			Servers:     cfg.Servers,
+			FullNTP:     true,
+			KoDBaseHold: demobilizePeriod,
+		}),
+		freq: cfg.InitialFreq,
 	}
 	if cfg.InitialFreq != 0 {
 		clk.AdjustFreq(cfg.InitialFreq)
@@ -104,36 +113,26 @@ func (c *Client) PollInterval() time.Duration {
 	return iv
 }
 
-// demobilizePeriod is how long a server answering with kiss-of-death
-// is excluded from polling (RFC 5905 requires demobilization; a fixed
-// holdoff keeps this client simple).
+// demobilizePeriod is the base hold-down for a server answering with
+// kiss-of-death (RFC 5905 requires demobilization); repeated KoDs
+// extend it exponentially via the source pool.
 const demobilizePeriod = 1 * time.Hour
 
-// Poll performs one round: query every server, filter, select,
-// cluster, combine and discipline the clock. Individual server
-// failures are tolerated; a kiss-of-death reply demobilizes the peer
-// for a holdoff period. The round fails only if no server answers or
-// selection finds no consensus.
+// Poll performs one round: query every server the pool deems
+// eligible, filter, select, cluster, combine and discipline the
+// clock. Individual server failures are tolerated and recorded in
+// the pool's health state; a kiss-of-death reply puts the peer into
+// exponential hold-down. The round fails only if no server answers
+// or selection finds no consensus.
 func (c *Client) Poll() (Update, error) {
 	var cands []Candidate
-	now := c.Clock.Now()
-	for _, server := range c.Config.Servers {
-		if until, held := c.demobilized[server]; held {
-			if now.Before(until) {
-				continue
-			}
-			delete(c.demobilized, server)
-		}
+	for _, server := range c.pool.EligibleNames() {
 		s, err := exchange.Measure(c.Clock, c.Transport, server, ntppkt.Version4, false)
 		if err != nil {
-			if errors.Is(err, ntppkt.ErrKissOfDeath) {
-				if c.demobilized == nil {
-					c.demobilized = make(map[string]time.Time)
-				}
-				c.demobilized[server] = now.Add(demobilizePeriod)
-			}
+			c.pool.ReportError(server, err)
 			continue
 		}
+		c.pool.ReportSample(server, s)
 		pf := c.peers[server]
 		pf.add(s)
 		best, jitter, ok := pf.best()
@@ -151,6 +150,7 @@ func (c *Client) Poll() (Update, error) {
 	if len(surv) == 0 {
 		return Update{Poll: c.PollInterval()}, ErrNoConsensus
 	}
+	c.markSelection(cands, surv)
 	surv = Cluster(surv)
 	offset, _ := Combine(surv)
 
@@ -163,6 +163,32 @@ func (c *Client) Poll() (Update, error) {
 	c.adaptPoll(offset, surv)
 	u.Poll = c.PollInterval()
 	return u, nil
+}
+
+// markSelection feeds the selection outcome back into the pool's
+// health state: survivors decay their falseticker demotion, flagged
+// candidates accumulate it (and sink in the ranking).
+func (c *Client) markSelection(cands, surv []Candidate) {
+	inSurv := make(map[string]bool, len(surv))
+	survNames := make([]string, 0, len(surv))
+	for _, s := range surv {
+		inSurv[s.Server] = true
+		survNames = append(survNames, s.Server)
+	}
+	var falseNames []string
+	for _, cd := range cands {
+		if !inSurv[cd.Server] {
+			falseNames = append(falseNames, cd.Server)
+		}
+	}
+	c.pool.MarkResult(survNames, falseNames)
+}
+
+// PoolStatus returns a health snapshot of every configured server
+// (reach register, smoothed delay/jitter, KoD hold-down, falseticker
+// demotion) for observability.
+func (c *Client) PoolStatus() []sources.SourceStatus {
+	return c.pool.Status()
 }
 
 // discipline applies the offset to the clock: a step beyond the step

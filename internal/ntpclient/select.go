@@ -1,11 +1,10 @@
 package ntpclient
 
 import (
-	"math"
-	"sort"
 	"time"
 
 	"mntp/internal/exchange"
+	"mntp/internal/sources"
 )
 
 // Candidate is one peer's filtered estimate entering selection.
@@ -25,85 +24,24 @@ func (c Candidate) hi() float64 {
 func (c Candidate) mid() float64 { return c.Sample.Offset.Seconds() }
 
 // Select runs the intersection (Marzullo-derived) algorithm of RFC
-// 5905 §11.2.1: it finds the largest set of candidates whose
-// correctness intervals share an intersection containing a majority
-// of midpoints, and returns those truechimers. Candidates outside the
-// intersection are falsetickers. An empty result means no majority
-// clique exists.
+// 5905 §11.2.1 over the candidates' correctness intervals and returns
+// the truechimers. Candidates outside the intersection are
+// falsetickers. An empty result means no majority clique exists. The
+// algorithm itself lives in internal/sources (the standalone
+// selection layer shared with the source pool); this adapter builds
+// the intervals from root distance.
 func Select(cands []Candidate) []Candidate {
-	m := len(cands)
-	if m == 0 {
+	ivals := make([]sources.Interval, len(cands))
+	for i, c := range cands {
+		ivals[i] = sources.Interval{Lo: c.lo(), Mid: c.mid(), Hi: c.hi()}
+	}
+	keep := sources.Marzullo(ivals)
+	if keep == nil {
 		return nil
 	}
-	if m == 1 {
-		return []Candidate{cands[0]}
-	}
-
-	type edge struct {
-		val float64
-		typ int // +1 = lower bound, 0 = midpoint, -1 = upper bound
-	}
-	edges := make([]edge, 0, 3*m)
-	for _, c := range cands {
-		edges = append(edges,
-			edge{c.lo(), +1}, edge{c.mid(), 0}, edge{c.hi(), -1})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].val != edges[j].val {
-			return edges[i].val < edges[j].val
-		}
-		// Lower bounds first, then midpoints, then upper bounds, so
-		// touching intervals count as overlapping.
-		return edges[i].typ > edges[j].typ
-	})
-
-	var low, high float64
-	found := false
-	for allow := 0; 2*allow < m; allow++ {
-		// Scan up for the low endpoint: the point where at least
-		// m−allow intervals are simultaneously active.
-		chime := 0
-		low, high = math.Inf(1), math.Inf(-1)
-		for _, e := range edges {
-			chime += e.typ
-			if chime >= m-allow {
-				low = e.val
-				break
-			}
-		}
-		// Scan down for the high endpoint.
-		chime = 0
-		for i := len(edges) - 1; i >= 0; i-- {
-			chime -= edges[i].typ
-			if chime >= m-allow {
-				high = edges[i].val
-				break
-			}
-		}
-		if low <= high {
-			// Require that no more than allow midpoints fall outside
-			// [low, high] (the falseticker budget).
-			outside := 0
-			for _, c := range cands {
-				if c.mid() < low || c.mid() > high {
-					outside++
-				}
-			}
-			if outside <= allow {
-				found = true
-				break
-			}
-		}
-	}
-	if !found {
-		return nil
-	}
-
-	var survivors []Candidate
-	for _, c := range cands {
-		if c.hi() >= low && c.lo() <= high {
-			survivors = append(survivors, c)
-		}
+	survivors := make([]Candidate, len(keep))
+	for k, i := range keep {
+		survivors[k] = cands[i]
 	}
 	return survivors
 }
@@ -112,39 +50,21 @@ func Select(cands []Candidate) []Candidate {
 // survivors.
 const minClusterSurvivors = 3
 
-// Cluster prunes the survivor list by select jitter: while more than
-// minClusterSurvivors remain, the candidate whose offset is most
-// distant from the others (largest RMS distance) is discarded if its
-// select jitter exceeds the smallest peer jitter — i.e. pruning stops
-// once the spread between survivors is within the noise of the best
-// peer, per RFC 5905 §11.2.2.
+// Cluster prunes the survivor list by select jitter per RFC 5905
+// §11.2.2, delegating to the shared pruning in internal/sources:
+// pruning stops once the spread between survivors is within the noise
+// of the best peer.
 func Cluster(surv []Candidate) []Candidate {
-	out := make([]Candidate, len(surv))
-	copy(out, surv)
-	for len(out) > minClusterSurvivors {
-		worst, worstJit := -1, -1.0
-		minPeerJit := math.Inf(1)
-		for i, c := range out {
-			var sum float64
-			for j, d := range out {
-				if i == j {
-					continue
-				}
-				diff := (c.Sample.Offset - d.Sample.Offset).Seconds()
-				sum += diff * diff
-			}
-			selJit := math.Sqrt(sum / float64(len(out)-1))
-			if selJit > worstJit {
-				worstJit, worst = selJit, i
-			}
-			if pj := c.Jitter.Seconds(); pj < minPeerJit {
-				minPeerJit = pj
-			}
-		}
-		if worstJit <= minPeerJit {
-			break
-		}
-		out = append(out[:worst], out[worst+1:]...)
+	mids := make([]float64, len(surv))
+	jits := make([]float64, len(surv))
+	for i, c := range surv {
+		mids[i] = c.mid()
+		jits[i] = c.Jitter.Seconds()
+	}
+	keep := sources.ClusterPrune(mids, jits, minClusterSurvivors)
+	out := make([]Candidate, len(keep))
+	for k, i := range keep {
+		out[k] = surv[i]
 	}
 	return out
 }

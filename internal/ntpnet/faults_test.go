@@ -183,9 +183,10 @@ func TestMNTPThroughFaultStormOverUDP(t *testing.T) {
 }
 
 func TestMNTPKoDStormMakesNoProgress(t *testing.T) {
-	// Under a total KoD storm every query fails; MNTP must surface
-	// query failures and accept nothing, without panicking or looping
-	// faster than its configured cadence.
+	// Under a total KoD storm every query draws a kiss-of-death: MNTP
+	// must surface the distinct KoD event, hold the source down (no
+	// retry hammering), and accept nothing — without panicking or
+	// looping faster than its configured cadence.
 	var calls int
 	ft := &FaultTransport{
 		Inner:   goodTransport(clock.System{}, 0, &calls),
@@ -198,14 +199,14 @@ func TestMNTPKoDStormMakesNoProgress(t *testing.T) {
 	params.ResetPeriod = 300 * time.Millisecond
 	params.HintPollInterval = 5 * time.Millisecond
 
-	var accepted, failed int
+	var accepted, kod int
 	c := core.New(clock.System{}, nil, ft, staticFavorable(), sntp.WallSleeper{}, params)
 	c.OnEvent = func(e core.Event) {
 		switch e.Kind {
 		case core.EventAccepted:
 			accepted++
-		case core.EventQueryFailed:
-			failed++
+		case core.EventKoD:
+			kod++
 		}
 	}
 	c.Run(250 * time.Millisecond)
@@ -213,8 +214,8 @@ func TestMNTPKoDStormMakesNoProgress(t *testing.T) {
 	if accepted != 0 {
 		t.Errorf("%d samples accepted from a pure KoD storm", accepted)
 	}
-	if failed == 0 {
-		t.Error("no query failures surfaced")
+	if kod == 0 {
+		t.Error("no KoD events surfaced")
 	}
 	if calls != 0 {
 		t.Errorf("inner transport reached %d times", calls)

@@ -1,0 +1,235 @@
+package sources
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mntp/internal/exchange"
+)
+
+// ivalAround builds an interval centered on mid with the given
+// halfwidth (seconds).
+func ivalAround(mid, half float64) Interval {
+	return Interval{Lo: mid - half, Mid: mid, Hi: mid + half}
+}
+
+func contains(idxs []int, i int) bool {
+	for _, v := range idxs {
+		if v == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: whenever a strict majority of intervals mutually overlap
+// around the truth, every member of that majority survives and every
+// far-away minority interval is flagged, regardless of how many
+// falsetickers there are or where they sit.
+func TestMarzulloMajoritySurvivesMinorityNever(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6) // 3..8 sources
+		maj := n/2 + 1       // strict majority agree
+		var ivals []Interval
+		for i := 0; i < maj; i++ {
+			// Agreeing cluster: mids within ±10 ms, halfwidth 50 ms, so
+			// every pair of correctness intervals overlaps.
+			ivals = append(ivals, ivalAround(rng.Float64()*0.020-0.010, 0.050))
+		}
+		for i := maj; i < n; i++ {
+			// Falsetickers: at least 1 s away with tight intervals —
+			// disjoint from the cluster and from each other.
+			sign := 1.0
+			if rng.Intn(2) == 0 {
+				sign = -1
+			}
+			ivals = append(ivals, ivalAround(sign*(1.0+float64(i)), 0.020))
+		}
+		surv := Marzullo(ivals)
+		if surv == nil {
+			t.Fatalf("seed %d: majority of %d/%d agreeing sources found no clique", seed, maj, n)
+		}
+		for i := 0; i < maj; i++ {
+			if !contains(surv, i) {
+				t.Errorf("seed %d: agreeing source %d not among survivors %v", seed, i, surv)
+			}
+		}
+		for i := maj; i < n; i++ {
+			if contains(surv, i) {
+				t.Errorf("seed %d: falseticker %d survived (%v)", seed, i, surv)
+			}
+		}
+	}
+}
+
+func TestMarzulloSingleSource(t *testing.T) {
+	surv := Marzullo([]Interval{ivalAround(0.5, 0.001)})
+	if len(surv) != 1 || surv[0] != 0 {
+		t.Errorf("single source: survivors = %v, want [0]", surv)
+	}
+}
+
+func TestMarzulloEmptyInput(t *testing.T) {
+	if surv := Marzullo(nil); surv != nil {
+		t.Errorf("no input: survivors = %v, want nil", surv)
+	}
+}
+
+// Property: mutually disjoint intervals never produce a majority
+// clique — selection must give up rather than invent consensus.
+func TestMarzulloAllDisagree(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		var ivals []Interval
+		for i := 0; i < n; i++ {
+			ivals = append(ivals, ivalAround(float64(i), 0.1))
+		}
+		if surv := Marzullo(ivals); surv != nil {
+			t.Errorf("n=%d disjoint intervals: survivors = %v, want nil", n, surv)
+		}
+	}
+}
+
+// Touching intervals count as overlapping (the edge sort breaks the
+// tie with lower bounds first).
+func TestMarzulloTouchingIntervals(t *testing.T) {
+	ivals := []Interval{
+		{Lo: 0, Mid: 0.005, Hi: 0.010},
+		{Lo: 0.010, Mid: 0.015, Hi: 0.020},
+		{Lo: 0.005, Mid: 0.010, Hi: 0.015},
+	}
+	surv := Marzullo(ivals)
+	if len(surv) != 3 {
+		t.Errorf("touching chain: survivors = %v, want all three", surv)
+	}
+}
+
+func TestClusterPrunePrunesOutlierKeepsNmin(t *testing.T) {
+	// Four tight mids plus one distant, all with tiny source jitter:
+	// the outlier is pruned first and pruning stops at nmin.
+	mids := []float64{0, 0.001, 0.002, 0.003, 0.100}
+	jits := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-4}
+	kept := ClusterPrune(mids, jits, 3)
+	if len(kept) < 3 {
+		t.Fatalf("kept %d < nmin 3", len(kept))
+	}
+	if contains(kept, 4) {
+		t.Errorf("outlier mid survived pruning: kept = %v", kept)
+	}
+}
+
+func TestClusterPruneStopsWithinNoise(t *testing.T) {
+	// A spread smaller than every source's own jitter must not be
+	// pruned at all.
+	mids := []float64{0, 0.0001, 0.0002, 0.00015}
+	jits := []float64{0.01, 0.01, 0.01, 0.01}
+	if kept := ClusterPrune(mids, jits, 3); len(kept) != 4 {
+		t.Errorf("kept = %v, want all 4 (spread within noise)", kept)
+	}
+}
+
+func TestClusterPruneFewerThanNmin(t *testing.T) {
+	if kept := ClusterPrune([]float64{0, 1}, []float64{0, 0}, 3); len(kept) != 2 {
+		t.Errorf("kept = %v, want both (below nmin)", kept)
+	}
+}
+
+func TestSelectCombineFlagsFalsetickerAndCombines(t *testing.T) {
+	clk := newManualClock()
+	p := New(clk, nil, Config{Servers: []string{"a", "b", "bad"}})
+	offsets := []time.Duration{0, 2 * time.Millisecond, 500 * time.Millisecond}
+
+	var sel Selection
+	for round := 0; round < 3; round++ {
+		samples := make([]exchange.Sample, len(offsets))
+		idxs := make([]int, len(offsets))
+		for i, off := range offsets {
+			// 20 ms of delay gives a 10 ms correctness halfwidth: a and
+			// b overlap, bad (at +500 ms) is disjoint from both.
+			samples[i] = mkSample(off, 20*time.Millisecond)
+			idxs[i] = i
+			p.ReportSample(p.Status()[i].Name, samples[i])
+		}
+		sel = p.SelectCombine(samples, idxs)
+		if !sel.OK || sel.NoConsensus {
+			t.Fatalf("round %d: OK=%v NoConsensus=%v, want a clean majority", round, sel.OK, sel.NoConsensus)
+		}
+		if len(sel.Falsetickers) != 1 || sel.Falsetickers[0] != 2 {
+			t.Fatalf("round %d: falsetickers = %v, want [2]", round, sel.Falsetickers)
+		}
+	}
+	// Combined offset is the (equal-weight) average of the survivors,
+	// untouched by the falseticker's +500 ms.
+	if got, want := sel.Offset, time.Millisecond; got < want-100*time.Microsecond || got > want+100*time.Microsecond {
+		t.Errorf("combined offset = %v, want ≈%v", got, want)
+	}
+	// Repeated flagging accumulated demotion on bad; survivors decayed.
+	if w := statusOf(t, p, "bad").Falseticker; w < 1.5 {
+		t.Errorf("bad's falseticker weight = %v after 3 flagged rounds, want ≥ 1.5", w)
+	}
+	if w := statusOf(t, p, "a").Falseticker; w != 0 {
+		t.Errorf("a's falseticker weight = %v, want 0", w)
+	}
+}
+
+func TestSelectCombineFallbackToDominantScore(t *testing.T) {
+	clk := newManualClock()
+	p := New(clk, nil, Config{Servers: []string{"trusted", "suspect"}})
+	// History: trusted has clean rounds; suspect has been flagged a
+	// falseticker twice (earned in earlier majority rounds).
+	for i := 0; i < 4; i++ {
+		p.ReportSample("trusted", mkSample(0, 5*time.Millisecond))
+		p.ReportSample("suspect", mkSample(0, 5*time.Millisecond))
+	}
+	p.MarkResult(nil, []string{"suspect"})
+	p.MarkResult(nil, []string{"suspect"})
+
+	// Two disjoint samples: no majority is possible with m=2.
+	samples := []exchange.Sample{
+		mkSample(time.Millisecond, 2*time.Millisecond),
+		mkSample(400*time.Millisecond, 2*time.Millisecond),
+	}
+	sel := p.SelectCombine(samples, []int{0, 1})
+	if !sel.NoConsensus {
+		t.Fatal("disjoint pair should report NoConsensus")
+	}
+	if !sel.OK {
+		t.Fatal("fallback should resolve in favor of the dominant-score source")
+	}
+	if len(sel.Survivors) != 1 || sel.Survivors[0] != 0 {
+		t.Errorf("survivors = %v, want [0] (trusted)", sel.Survivors)
+	}
+	if sel.Offset != time.Millisecond {
+		t.Errorf("fallback offset = %v, want trusted's 1ms", sel.Offset)
+	}
+	// Fallback rounds must not mark falsetickers: no majority evidence.
+	if w := statusOf(t, p, "suspect").Falseticker; w != 2 {
+		t.Errorf("suspect weight changed to %v during fallback, want 2", w)
+	}
+}
+
+func TestSelectCombineAmbiguousWithoutScoreMemory(t *testing.T) {
+	clk := newManualClock()
+	p := New(clk, nil, Config{Servers: []string{"a", "b"}})
+	p.ReportSample("a", mkSample(0, 2*time.Millisecond))
+	p.ReportSample("b", mkSample(0, 2*time.Millisecond))
+
+	// Equal scores, disjoint samples: the round is ambiguous and no
+	// offset may be offered.
+	samples := []exchange.Sample{
+		mkSample(0, 2*time.Millisecond),
+		mkSample(400*time.Millisecond, 2*time.Millisecond),
+	}
+	sel := p.SelectCombine(samples, []int{0, 1})
+	if sel.OK || !sel.NoConsensus {
+		t.Errorf("OK=%v NoConsensus=%v, want false/true (ambiguous)", sel.OK, sel.NoConsensus)
+	}
+}
+
+func TestSelectCombineEmpty(t *testing.T) {
+	p := New(newManualClock(), nil, Config{Servers: []string{"a"}})
+	if sel := p.SelectCombine(nil, nil); sel.OK {
+		t.Error("empty sample set must not produce an offset")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"mntp/internal/ntpclient"
 	"mntp/internal/ntpnet"
 	"mntp/internal/sntp"
+	"mntp/internal/sources"
 	"mntp/internal/testbed"
 	"mntp/internal/tuner"
 )
@@ -59,6 +60,8 @@ const (
 	EventQueryFailed    = core.EventQueryFailed
 	EventFalseTicker    = core.EventFalseTicker
 	EventDriftCorrected = core.EventDriftCorrected
+	EventKoD            = core.EventKoD
+	EventDropped        = core.EventDropped
 )
 
 // NewClient creates an MNTP client. See core.New.
@@ -100,6 +103,24 @@ var (
 	AndroidSNTPConfig       = sntp.AndroidConfig
 	WindowsMobileSNTPConfig = sntp.WindowsMobileConfig
 	NewNTPClient            = ntpclient.New
+)
+
+// Multi-source pool (upstream health, fan-out, selection).
+type (
+	// SourcePool owns a set of upstream servers with per-source health
+	// scoring, concurrent fan-out and Marzullo selection.
+	SourcePool = sources.Pool
+	// SourcePoolConfig parameterizes a pool.
+	SourcePoolConfig = sources.Config
+	// SourceStatus is an observable snapshot of one source.
+	SourceStatus = sources.SourceStatus
+)
+
+// NewSourcePool creates a pool; FormatPoolStatus renders a status
+// snapshot as a table.
+var (
+	NewSourcePool    = sources.New
+	FormatPoolStatus = sources.FormatStatus
 )
 
 // Transport and measurement.
