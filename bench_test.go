@@ -13,6 +13,8 @@ import (
 	"mntp/internal/core"
 	"mntp/internal/exchange"
 	"mntp/internal/experiments"
+	"mntp/internal/loadgen"
+	"mntp/internal/ntpnet"
 	"mntp/internal/ntppkt"
 	"mntp/internal/ntptime"
 	"mntp/internal/sources"
@@ -237,6 +239,48 @@ func BenchmarkMarzulloIntersection(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving capacity: loadgen-driven open-loop runs against the
+// sharded real-UDP server. The reported served/s is the throughput
+// the server actually answered (not the offered rate); comparing the
+// shard counts quantifies the SO_REUSEPORT scaling. Sub-benchmarks
+// skip where the platform cannot bind a REUSEPORT group.
+
+func benchmarkServerCapacity(b *testing.B, shards int) {
+	if shards > 1 && !ntpnet.ReusePortAvailable() {
+		b.Skip("SO_REUSEPORT unavailable; multi-shard capacity not measurable")
+	}
+	var servedPerSec float64
+	for i := 0; i < b.N; i++ {
+		srv := ntpnet.NewServer(clock.System{}, 2)
+		srv.Shards = shards
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			Target:   addr.String(),
+			Rate:     150000, // past single-shard capacity: expose the serving limit
+			Duration: 300 * time.Millisecond,
+			Senders:  4,
+			Arrival:  loadgen.ArrivalFixed,
+			Timeout:  200 * time.Millisecond,
+			Seed:     int64(i),
+		})
+		if err != nil {
+			srv.Close()
+			b.Fatal(err)
+		}
+		served := srv.Snapshot().Served
+		srv.Close()
+		servedPerSec = float64(served) / rep.DurationSec
+	}
+	b.ReportMetric(servedPerSec, "served/s")
+	b.ReportMetric(0, "ns/op") // wall time is fixed by the run length, not meaningful per-op
+}
+
+func BenchmarkServerCapacityShards1(b *testing.B) { benchmarkServerCapacity(b, 1) }
+func BenchmarkServerCapacityShards2(b *testing.B) { benchmarkServerCapacity(b, 2) }
 
 // --- Micro-benchmarks of hot paths.
 

@@ -1,0 +1,86 @@
+// Command ntpload drives an open-loop NTP load run against a server
+// and emits a JSON capacity report (offered vs achieved rate, loss,
+// KoD counts, latency quantiles, interval snapshots). Being
+// open-loop, it does not back off when the server saturates — that
+// is the point: the capacity cliff shows up as queueing delay and
+// loss instead of being hidden by generator back-pressure.
+//
+// Usage:
+//
+//	ntpload -target 127.0.0.1:11123 [-rate 10000] [-duration 10s]
+//	        [-senders 4] [-arrival poisson] [-timeout 1s]
+//	        [-population 0] [-interval 1s] [-version 4] [-seed 1]
+//	        [-json -]
+//
+// Example capacity run against a 2-shard local server:
+//
+//	ntpserver -listen 127.0.0.1:11123 -shards 2 &
+//	ntpload -target 127.0.0.1:11123 -rate 50000 -duration 10s -json report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mntp/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "", "server address host:port (required)")
+	rate := flag.Float64("rate", 10000, "offered requests/second across all senders")
+	duration := flag.Duration("duration", 10*time.Second, "send phase length")
+	senders := flag.Int("senders", 4, "sender goroutines")
+	arrival := flag.String("arrival", "poisson", "arrival process: poisson|fixed")
+	timeout := flag.Duration("timeout", time.Second, "per-request reply deadline")
+	population := flag.Int("population", 0, "simulated client population: distinct 127/8 source addresses (loopback targets; 0 = one source per sender)")
+	interval := flag.Duration("interval", time.Second, "interval snapshot period (0 = none)")
+	version := flag.Int("version", 4, "NTP version of the requests")
+	seed := flag.Int64("seed", 1, "arrival randomness seed")
+	jsonOut := flag.String("json", "-", "JSON report destination (- = stdout)")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ntpload: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *target == "" {
+		fail("-target is required")
+	}
+	if *version < 1 || *version > 7 {
+		fail("-version %d does not fit the 3-bit field", *version)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Target:        *target,
+		Rate:          *rate,
+		Duration:      *duration,
+		Senders:       *senders,
+		Arrival:       loadgen.Arrival(*arrival),
+		Timeout:       *timeout,
+		Population:    *population,
+		SnapshotEvery: *interval,
+		Version:       uint8(*version),
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntpload:", err)
+		os.Exit(1)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ntpload:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if *jsonOut == "-" {
+		os.Stdout.Write(out)
+	} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ntpload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, rep)
+}

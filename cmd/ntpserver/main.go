@@ -1,15 +1,17 @@
 // Command ntpserver runs a standalone NTP/SNTP server over UDP,
 // answering mode-3 queries from the system clock (optionally shifted,
-// for testing client behaviour against a known-wrong server). A pool
-// of worker goroutines shares the socket, abusive clients are
-// rate-limited from a bounded table, and the metrics surface
-// (served/limited/dropped/malformed counters plus a request-latency
-// histogram) is printed periodically.
+// for testing client behaviour against a known-wrong server). The
+// listen path is sharded across SO_REUSEPORT sockets (-shards), each
+// shard running its own pool of worker goroutines; abusive clients
+// are rate-limited from a bounded table, and the merged metrics
+// surface (served/limited/dropped/malformed counters plus a
+// request-latency histogram) is printed periodically.
 //
 // Usage:
 //
 //	ntpserver [-listen 127.0.0.1:11123] [-stratum 2] [-shift 0ms]
-//	          [-workers 0] [-ratelimit 0] [-ratewindow 1m] [-maxclients 16384]
+//	          [-shards 1] [-workers 0] [-ratelimit 0] [-ratewindow 1m]
+//	          [-maxclients 16384] [-stats 30s]
 package main
 
 import (
@@ -25,20 +27,51 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:11123", "listen address")
-	stratum := flag.Int("stratum", 2, "advertised stratum")
+	stratum := flag.Int("stratum", 2, "advertised stratum (1..15)")
 	shift := flag.Duration("shift", 0, "constant error added to served time")
-	workers := flag.Int("workers", 0, "serve goroutines sharing the socket (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "SO_REUSEPORT listen sockets (0 = 1; >1 needs kernel support, else they share one socket)")
+	workers := flag.Int("workers", 0, "serve goroutines per shard (0 = GOMAXPROCS/shards)")
 	rateLimit := flag.Int("ratelimit", 0, "max requests per client per window (0 = unlimited)")
 	rateWindow := flag.Duration("ratewindow", time.Minute, "rate-limit window")
 	maxClients := flag.Int("maxclients", ntpnet.DefaultMaxClients, "rate-limit table bound")
-	statsEvery := flag.Duration("stats", 30*time.Second, "metrics print interval")
+	statsEvery := flag.Duration("stats", 30*time.Second, "metrics print interval (0 = never)")
 	flag.Parse()
+
+	// Validate before anything silently truncates: -stratum feeds a
+	// uint8 (a 256 would wrap to 0, a kiss-of-death stratum), and
+	// negative limits would read as "off" or break table sizing.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ntpserver: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *stratum < 1 || *stratum > 15 {
+		fail("-stratum %d out of range 1..15", *stratum)
+	}
+	if *rateLimit < 0 {
+		fail("-ratelimit %d is negative", *rateLimit)
+	}
+	if *maxClients < 0 {
+		fail("-maxclients %d is negative", *maxClients)
+	}
+	if *rateWindow < 0 {
+		fail("-ratewindow %v is negative", *rateWindow)
+	}
+	if *workers < 0 {
+		fail("-workers %d is negative", *workers)
+	}
+	if *shards < 0 {
+		fail("-shards %d is negative", *shards)
+	}
+	if *statsEvery < 0 {
+		fail("-stats %v is negative", *statsEvery)
+	}
 
 	var clk clock.Clock = clock.System{}
 	if *shift != 0 {
 		clk = &clock.Fixed{Base: clock.System{}, Error: *shift}
 	}
 	srv := ntpnet.NewServer(clk, uint8(*stratum))
+	srv.Shards = *shards
 	srv.Workers = *workers
 	srv.RateLimit = *rateLimit
 	srv.RateWindow = *rateWindow
@@ -48,24 +81,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, workers %d, ratelimit %d/%v)\n",
-		addr, *stratum, *shift, *workers, *rateLimit, *rateWindow)
+	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, shards %d, workers %d, ratelimit %d/%v)\n",
+		addr, *stratum, *shift, srv.NumShards(), *workers, *rateLimit, *rateWindow)
 
 	printStats := func() {
-		snap := srv.Metrics().Snapshot()
-		fmt.Printf("%s rate-table=%d\n", snap, srv.RateTableSize())
+		fmt.Printf("%s rate-table=%d\n", srv.Snapshot(), srv.RateTableSize())
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	tick := time.NewTicker(*statsEvery)
-	defer tick.Stop()
+
+	// A zero interval disables periodic stats (time.NewTicker panics
+	// on it); the ticker is stopped before shutdown either way.
+	var tickC <-chan time.Time
+	var tick *time.Ticker
+	if *statsEvery > 0 {
+		tick = time.NewTicker(*statsEvery)
+		tickC = tick.C
+	}
 	for {
 		select {
 		case <-sig:
+			if tick != nil {
+				tick.Stop()
+			}
 			printStats()
 			srv.Close()
 			return
-		case <-tick.C:
+		case <-tickC:
 			printStats()
 		}
 	}

@@ -82,5 +82,5 @@ func main() {
 	}
 	c.Run(8 * time.Second)
 	fmt.Printf("\nserver metrics: %s (rate table %d clients)\n",
-		srv.Metrics().Snapshot(), srv.RateTableSize())
+		srv.Snapshot(), srv.RateTableSize())
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled gates the high-rate capacity tests: under the race
+// detector every atomic and map op costs an order of magnitude more,
+// so offered-rate floors calibrated for production binaries are
+// meaningless and the tests skip themselves.
+const raceEnabled = true

@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The latency recorder is an HDR-histogram-style log-bucketed
+// counter array: values (nanoseconds) are bucketed by their power of
+// two, with subBuckets linear sub-buckets inside each doubling, so
+// the relative quantile error is bounded by 1/subBuckets (~6%)
+// across the full range — microsecond loopback replies and
+// multi-second stalls land in one fixed-size, allocation-free,
+// atomically updated array. Recording is wait-free (one atomic add
+// per bucket plus min/max CAS), so 50k+ recordings per second from
+// concurrent receivers cost no lock.
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // 16 linear sub-buckets per doubling
+	// numBuckets covers every uint64 nanosecond value: bits.Len64
+	// tops out at 64, so the largest exponent is 64-(subBits+1)=59
+	// and the largest index is subBuckets*60+15.
+	numBuckets = subBuckets*(64-subBits) + subBuckets
+)
+
+// bucketIndex maps a nanosecond value to its histogram bucket.
+func bucketIndex(u uint64) int {
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - (subBits + 1)
+	return subBuckets*exp + int(u>>uint(exp))
+}
+
+// bucketBound returns the largest value mapping to bucket i — the
+// value a quantile lookup reports for the bucket.
+func bucketBound(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	exp := i/subBuckets - 1
+	sub := uint64(i%subBuckets + subBuckets)
+	return (sub+1)<<uint(exp) - 1
+}
+
+// recorder accumulates a latency distribution. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type recorder struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func (r *recorder) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.buckets[bucketIndex(uint64(d))].Add(1)
+	r.count.Add(1)
+	r.sum.Add(int64(d))
+	for {
+		m := r.max.Load()
+		if int64(d) <= m || r.max.CompareAndSwap(m, int64(d)) {
+			break
+		}
+	}
+}
+
+// histSnapshot is a point-in-time copy of the distribution. Counts
+// are read bucket-atomically; the set is not one transaction, which
+// is fine for reporting.
+type histSnapshot struct {
+	count   uint64
+	sum     int64
+	max     int64
+	buckets [numBuckets]uint64
+}
+
+func (r *recorder) snapshot() histSnapshot {
+	var h histSnapshot
+	h.count = r.count.Load()
+	h.sum = r.sum.Load()
+	h.max = r.max.Load()
+	for i := range r.buckets {
+		h.buckets[i] = r.buckets[i].Load()
+	}
+	return h
+}
+
+// sub returns the interval distribution h−prev (bucket-wise). max is
+// carried from h: a cumulative maximum cannot be un-merged, so
+// interval rows report the max seen so far.
+func (h histSnapshot) sub(prev histSnapshot) histSnapshot {
+	out := h
+	out.count -= prev.count
+	out.sum -= prev.sum
+	for i := range out.buckets {
+		out.buckets[i] -= prev.buckets[i]
+	}
+	return out
+}
+
+// quantile returns the q-th (0 ≤ q ≤ 1) latency quantile as the
+// upper bound of the bucket holding it, and false when the
+// distribution is empty.
+func (h histSnapshot) quantile(q float64) (time.Duration, bool) {
+	if h.count == 0 {
+		return 0, false
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= target {
+			return time.Duration(bucketBound(i)), true
+		}
+	}
+	return time.Duration(h.max), true
+}
+
+func (h histSnapshot) mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}

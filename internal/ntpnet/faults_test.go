@@ -176,7 +176,7 @@ func TestMNTPThroughFaultStormOverUDP(t *testing.T) {
 	if st.Dropped == 0 {
 		t.Errorf("storm injected nothing: %+v", st)
 	}
-	snap := srv.Metrics().Snapshot()
+	snap := srv.Snapshot()
 	if snap.Served == 0 {
 		t.Error("server served nothing")
 	}

@@ -74,6 +74,20 @@ func LatencyBounds() []time.Duration {
 	return out
 }
 
+// Merge adds o's counts into s. A sharded server keeps one Metrics
+// per shard so the fast path never bounces a cache line between
+// shards; Merge folds the shard-local views into the aggregate.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Served += o.Served
+	s.Limited += o.Limited
+	s.Dropped += o.Dropped
+	s.Malformed += o.Malformed
+	s.WriteErrors += o.WriteErrors
+	for i := range s.Latency {
+		s.Latency[i] += o.Latency[i]
+	}
+}
+
 // Snapshot reads all counters.
 func (m *Metrics) Snapshot() Snapshot {
 	var s Snapshot

@@ -4,12 +4,14 @@
 // so the same SNTP/NTP/MNTP client code that runs in simulation runs
 // against real sockets.
 //
-// The server side is built for production traffic: a configurable
-// pool of serve goroutines shares the socket, per-client rate
-// limiting is tracked in a bounded table with window-stamped
-// eviction, and every outcome (served, rate-limited, dropped,
-// malformed, write errors) plus a request-handling latency histogram
-// is counted in Metrics. The client side validates replies in the
+// The server side is built for production traffic: the listen path
+// is sharded across SO_REUSEPORT sockets (single-socket fallback on
+// platforms without it), each shard running a configurable pool of
+// serve goroutines and counting into shard-local Metrics that
+// Server.Snapshot merges; per-client rate limiting is tracked in a
+// bounded table with window-stamped eviction, and every outcome
+// (served, rate-limited, dropped, malformed, write errors) plus a
+// request-handling latency histogram is counted. The client side validates replies in the
 // receive loop — a stray, duplicated or spoofed datagram whose origin
 // does not echo the request is skipped, not treated as the answer.
 // FaultTransport wraps any transport with seeded loss, delay,

@@ -380,7 +380,7 @@ func TestServerMetricsCounters(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	var snap Snapshot
 	for time.Now().Before(deadline) {
-		snap = srv.Metrics().Snapshot()
+		snap = srv.Snapshot()
 		if snap.Malformed >= 1 && snap.Dropped >= 1 && snap.Served >= 1 {
 			break
 		}

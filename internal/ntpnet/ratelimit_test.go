@@ -1,0 +1,91 @@
+package ntpnet
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestKeyFromIPMappedEquivalence pins the key normalization: the same
+// IPv4 client must hit the same bucket whether the socket layer hands
+// its address over as 4 raw bytes, as the 16-byte IPv4-in-IPv6 mapped
+// form (::ffff:a.b.c.d — what ReadFromUDP yields on a dual-stack
+// socket), or parsed from text. Native IPv6 addresses must not
+// collide with any v4 key.
+func TestKeyFromIPMappedEquivalence(t *testing.T) {
+	raw4 := net.IP{192, 0, 2, 7}
+	v4in16 := net.IPv4(192, 0, 2, 7) // 16-byte representation
+	parsed := net.ParseIP("192.0.2.7")
+	mapped := net.ParseIP("::ffff:192.0.2.7")
+
+	want := keyFromIP(raw4)
+	for name, ip := range map[string]net.IP{
+		"16-byte v4": v4in16, "parsed dotted": parsed, "explicit mapped": mapped,
+	} {
+		if got := keyFromIP(ip); got != want {
+			t.Errorf("keyFromIP(%s %v) = %x, want %x", name, ip, got, want)
+		}
+	}
+	// The key bytes are exactly the RFC 4291 mapped form.
+	wantBytes := addrKey{10: 0xff, 11: 0xff, 12: 192, 13: 0, 14: 2, 15: 7}
+	if want != wantBytes {
+		t.Errorf("v4 key = %x, want RFC 4291 mapped %x", want, wantBytes)
+	}
+
+	ip6 := net.ParseIP("2001:db8::c000:207") // low bytes equal 192.0.2.7
+	if got := keyFromIP(ip6); got == want {
+		t.Errorf("native IPv6 %v collides with v4 key %x", ip6, want)
+	}
+	if a, b := keyFromIP(net.ParseIP("2001:db8::1")), keyFromIP(net.ParseIP("2001:db8::2")); a == b {
+		t.Error("distinct IPv6 clients share a key")
+	}
+}
+
+func fillKey(i int) addrKey {
+	var k addrKey
+	k[0] = 0x20 // native v6 space, disjoint from the mapped prefix
+	binary.BigEndian.PutUint32(k[12:], uint32(i))
+	return k
+}
+
+// BenchmarkRateLimiterFullTableInsert measures the worst case of the
+// bounded table: every insertion arrives at capacity with nothing
+// expired, so each one pays the full O(table) eviction scan for the
+// oldest window. This is the hot path under a spoofed-source flood
+// that cycles addresses faster than the window expires them.
+func BenchmarkRateLimiterFullTableInsert(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run("size="+itoa(size), func(b *testing.B) {
+			rl := newRateLimiter(10, time.Minute, size)
+			now := time.Unix(1479081600, 0)
+			for i := 0; i < size; i++ {
+				rl.over(fillKey(i), now)
+			}
+			if rl.size() != size {
+				b.Fatalf("table size %d, want %d", rl.size(), size)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A never-seen key at a time inside every window: full
+				// scan, oldest displaced, table stays at capacity.
+				rl.over(fillKey(size+i), now.Add(time.Duration(i)))
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

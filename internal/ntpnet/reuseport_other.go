@@ -1,0 +1,19 @@
+//go:build !linux
+
+package ntpnet
+
+import (
+	"errors"
+	"syscall"
+)
+
+// reusePortAvailable: without a port-sharing setsockopt the sharded
+// listen path cannot bind several sockets to one address; Listen falls
+// back to a single socket shared by every shard's worker pool.
+const reusePortAvailable = false
+
+var errReusePortUnsupported = errors.New("ntpnet: SO_REUSEPORT not supported on this platform")
+
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return errReusePortUnsupported
+}

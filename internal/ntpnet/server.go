@@ -1,6 +1,7 @@
 package ntpnet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"runtime"
@@ -17,11 +18,17 @@ import (
 // optional per-client rate limit answers abusive clients with a
 // RATE kiss-of-death packet, as pool servers do.
 //
-// A pool of Workers goroutines shares the socket so the server scales
-// with cores; each worker reuses its read and write buffers, so the
-// steady-state serving path does not allocate per packet. The
-// rate-limit table is bounded (MaxClients) with window-stamped
-// eviction, and all outcomes are counted in Metrics.
+// The listen path is sharded: Shards sockets are bound to the same
+// address with SO_REUSEPORT, so the kernel spreads inbound datagrams
+// across independent receive queues and the shards never contend on
+// one socket lock. Each shard runs its own pool of Workers goroutines
+// and counts into its own shard-local Metrics; Snapshot() merges them
+// into the aggregate view. On platforms without SO_REUSEPORT (or when
+// the kernel refuses it) every shard serves one shared socket — the
+// worker pools and per-shard counters remain, only the kernel-level
+// queue spread is lost. The rate-limit table is shared across shards
+// (a client's budget is global, whichever queue its packets hash to)
+// and bounded (MaxClients) with window-stamped eviction.
 type Server struct {
 	Clock   clock.Clock
 	Stratum uint8
@@ -34,14 +41,26 @@ type Server struct {
 	// DefaultMaxClients). When full, expired buckets are evicted
 	// first, then the oldest window.
 	MaxClients int
-	// Workers is the number of serve goroutines sharing the socket
-	// (default GOMAXPROCS). All fields above must be set before
-	// Listen.
+	// Workers is the number of serve goroutines per shard (default
+	// GOMAXPROCS/Shards, at least 1).
 	Workers int
+	// Shards is the number of listening sockets bound to the address
+	// via SO_REUSEPORT (default 1). All fields must be set before
+	// Listen.
+	Shards int
 
-	conn    *net.UDPConn
+	conns   []*net.UDPConn
+	shards  []*shard
 	wg      sync.WaitGroup
 	limiter *rateLimiter
+}
+
+// shard is one slice of the serving fast path: a socket (exclusive
+// under SO_REUSEPORT, shared in the fallback) and the metrics its
+// workers count into. Shard-local counters keep the hot path free of
+// cross-shard cache-line bouncing; readers merge them on demand.
+type shard struct {
+	conn    *net.UDPConn
 	metrics Metrics
 }
 
@@ -50,51 +69,141 @@ func NewServer(clk clock.Clock, stratum uint8) *Server {
 	return &Server{Clock: clk, Stratum: stratum, RefID: [4]byte{'L', 'O', 'C', 'L'}}
 }
 
+// ReusePortAvailable reports whether this platform supports the
+// SO_REUSEPORT sharded listen path. When false, a Shards > 1 server
+// still runs — every shard serves one shared socket — so callers
+// (and benchmarks demonstrating shard scaling) can skip gracefully.
+func ReusePortAvailable() bool { return reusePortAvailable }
+
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts the
-// serve pool. It returns the bound address.
+// serve pools. It returns the bound address.
 func (s *Server) Listen(addr string) (*net.UDPAddr, error) {
-	ua, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ntpnet: resolve %q: %w", addr, err)
+	nshards := s.Shards
+	if nshards <= 0 {
+		nshards = 1
 	}
-	conn, err := net.ListenUDP("udp", ua)
+	conns, err := listenShards(addr, nshards)
 	if err != nil {
-		return nil, fmt.Errorf("ntpnet: listen %q: %w", addr, err)
+		return nil, err
 	}
-	s.conn = conn
+	s.conns = conns
 	if s.RateLimit > 0 {
 		s.limiter = newRateLimiter(s.RateLimit, s.RateWindow, s.MaxClients)
 	}
 	workers := s.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) / nshards
+		if workers < 1 {
+			workers = 1
+		}
 	}
-	s.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go s.serve()
+	s.shards = make([]*shard, nshards)
+	for i := range s.shards {
+		sh := &shard{conn: conns[i%len(conns)]}
+		s.shards[i] = sh
+		s.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go s.serve(sh)
+		}
 	}
-	return conn.LocalAddr().(*net.UDPAddr), nil
+	return conns[0].LocalAddr().(*net.UDPAddr), nil
+}
+
+// listenShards binds n sockets to addr with SO_REUSEPORT, falling
+// back to a single plain socket when n == 1, the platform lacks the
+// option, or the kernel refuses it. With a wildcard port the first
+// bind picks it and the rest join that port.
+func listenShards(addr string, n int) ([]*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ntpnet: resolve %q: %w", addr, err)
+	}
+	if n > 1 && reusePortAvailable {
+		if conns, err := listenReusePort(ua, n); err == nil {
+			return conns, nil
+		}
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("ntpnet: listen %q: %w", addr, err)
+	}
+	return []*net.UDPConn{conn}, nil
+}
+
+func listenReusePort(ua *net.UDPAddr, n int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: reusePortControl}
+	conns := make([]*net.UDPConn, 0, n)
+	laddr := ua.String()
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", laddr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		uc := pc.(*net.UDPConn)
+		conns = append(conns, uc)
+		if i == 0 {
+			laddr = uc.LocalAddr().String() // pin the kernel-chosen port
+		}
+	}
+	return conns, nil
 }
 
 // Close stops the server and waits for every serve goroutine to exit.
 func (s *Server) Close() error {
-	if s.conn == nil {
-		return nil
+	var first error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	err := s.conn.Close()
 	s.wg.Wait()
-	return err
+	return first
 }
 
-// Metrics returns the server's counters for monitoring. The pointer
-// is valid for the server's lifetime; counters are atomic.
-func (s *Server) Metrics() *Metrics { return &s.metrics }
+// Snapshot merges the shard-local metrics into the aggregate view.
+// Counters are read atomically per shard; the merge is not one atomic
+// transaction, which is fine for monitoring.
+func (s *Server) Snapshot() Snapshot {
+	var out Snapshot
+	for _, sh := range s.shards {
+		out.Merge(sh.metrics.Snapshot())
+	}
+	return out
+}
 
-// Served returns the number of requests answered.
-func (s *Server) Served() int { return int(s.metrics.Served.Load()) }
+// ShardSnapshots returns one Snapshot per shard, for observing how
+// the kernel spreads load across the REUSEPORT group.
+func (s *Server) ShardSnapshots() []Snapshot {
+	out := make([]Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.metrics.Snapshot()
+	}
+	return out
+}
+
+// NumShards returns the number of serving shards (0 before Listen).
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Served returns the number of requests answered across all shards.
+func (s *Server) Served() int {
+	n := uint64(0)
+	for _, sh := range s.shards {
+		n += sh.metrics.Served.Load()
+	}
+	return int(n)
+}
 
 // RateLimited returns the number of requests answered with RATE KoD.
-func (s *Server) RateLimited() int { return int(s.metrics.Limited.Load()) }
+func (s *Server) RateLimited() int {
+	n := uint64(0)
+	for _, sh := range s.shards {
+		n += sh.metrics.Limited.Load()
+	}
+	return int(n)
+}
 
 // RateTableSize returns the current rate-limit table population
 // (0 when rate limiting is off).
@@ -105,25 +214,25 @@ func (s *Server) RateTableSize() int {
 	return s.limiter.size()
 }
 
-// serve is one worker of the pool. Each worker owns its buffers;
-// *net.UDPConn reads and writes are safe for concurrent use.
-func (s *Server) serve() {
+// serve is one worker of a shard's pool. Each worker owns its
+// buffers; *net.UDPConn reads and writes are safe for concurrent use.
+func (s *Server) serve(sh *shard) {
 	defer s.wg.Done()
 	buf := make([]byte, 512)
 	out := make([]byte, 0, ntppkt.HeaderLen)
 	var req ntppkt.Packet
 	for {
-		n, peer, err := s.conn.ReadFromUDP(buf)
+		n, peer, err := sh.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
 		recv := s.Clock.Now()
 		if err := req.DecodeInto(buf[:n]); err != nil {
-			s.metrics.Malformed.Add(1)
+			sh.metrics.Malformed.Add(1)
 			continue
 		}
 		if req.Mode != ntppkt.ModeClient {
-			s.metrics.Dropped.Add(1)
+			sh.metrics.Dropped.Add(1)
 			continue
 		}
 		version := req.Version
@@ -141,11 +250,11 @@ func (s *Server) serve() {
 				Origin: req.Transmit,
 			}
 			out = kod.Encode(out[:0])
-			if _, err := s.conn.WriteToUDP(out, peer); err != nil {
-				s.metrics.WriteErrors.Add(1)
+			if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
+				sh.metrics.WriteErrors.Add(1)
 				continue
 			}
-			s.metrics.Limited.Add(1)
+			sh.metrics.Limited.Add(1)
 			continue
 		}
 		resp := ntppkt.Packet{
@@ -162,11 +271,11 @@ func (s *Server) serve() {
 			Transmit:  ntptime.FromTime(s.Clock.Now()),
 		}
 		out = resp.Encode(out[:0])
-		if _, err := s.conn.WriteToUDP(out, peer); err != nil {
-			s.metrics.WriteErrors.Add(1)
+		if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
+			sh.metrics.WriteErrors.Add(1)
 			continue
 		}
-		s.metrics.observeLatency(s.Clock.Now().Sub(recv))
-		s.metrics.Served.Add(1)
+		sh.metrics.observeLatency(s.Clock.Now().Sub(recv))
+		sh.metrics.Served.Add(1)
 	}
 }

@@ -196,6 +196,18 @@ func (p *Packet) ValidateServerReply(origin ntptime.Timestamp) error {
 	return nil
 }
 
+// KissCode returns the ASCII kiss code carried in the reference ID
+// when the packet is a server-mode kiss-of-death reply (stratum 0),
+// and false otherwise. Load generators and monitoring use it to
+// classify RATE/DENY replies without running the full client
+// validation path.
+func (p *Packet) KissCode() (string, bool) {
+	if p.Mode != ModeServer || p.Stratum != StratumKoD {
+		return "", false
+	}
+	return string(p.RefID[:]), true
+}
+
 // IsSNTPRequest reports whether a mode-3 request exhibits the minimal
 // SNTP shape: zeroed stratum, poll, precision, root delay/dispersion
 // and reference fields. Full ntpd clients populate poll and precision.
