@@ -22,10 +22,11 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"mntp/internal/clock"
 	"mntp/internal/core"
 	"mntp/internal/driftfile"
 	"mntp/internal/hints"
@@ -52,6 +53,9 @@ func main() {
 	warmupWait := flag.Duration("warmup-wait", 15*time.Second, "warmupWaitTime")
 	regularWait := flag.Duration("regular-wait", 5*time.Minute, "regularWaitTime")
 	reset := flag.Duration("reset", 4*time.Hour, "resetPeriod")
+	stepThreshold := flag.Duration("step-threshold", 128*time.Millisecond, "offset beyond which the clock is stepped rather than slewed")
+	panicThreshold := flag.Duration("panic-threshold", 10*time.Second, "offset beyond which a correction is refused once synchronized (negative disables)")
+	holdoverMax := flag.Duration("holdover-max", time.Hour, "how long holdover retains the sync state during a blackout")
 	flag.Parse()
 
 	params := core.DefaultParams(testbed.PoolName)
@@ -59,6 +63,9 @@ func main() {
 	params.WarmupWaitTime = *warmupWait
 	params.RegularWaitTime = *regularWait
 	params.ResetPeriod = *reset
+	params.StepThreshold = *stepThreshold
+	params.PanicThreshold = *panicThreshold
+	params.HoldoverMax = *holdoverMax
 
 	switch *transport {
 	case "sim":
@@ -104,6 +111,21 @@ func printEvent(e core.Event) {
 	case core.EventKoD:
 		fmt.Printf("%9.1fs %-7s %-12s source=%s (hold-down engaged)\n",
 			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Source)
+	case core.EventAdjustError:
+		fmt.Printf("%9.1fs %-7s %-12s clock adjustment refused by the host\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind)
+	case core.EventHoldover:
+		fmt.Printf("%9.1fs %-7s %-12s sources dark; free-running on drift=%+.2fppm\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Drift*1e6)
+	case core.EventPanicStep:
+		fmt.Printf("%9.1fs %-7s %-12s refused implausible correction of %8.2fms\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Offset.Seconds()*1000)
+	case core.EventResumed:
+		fmt.Printf("%9.1fs %-7s %-12s wall clock jumped %8.2fms vs monotonic; re-warming up\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind, e.Offset.Seconds()*1000)
+	case core.EventNetworkChanged:
+		fmt.Printf("%9.1fs %-7s %-12s path health reset; re-probing\n",
+			e.Elapsed.Seconds(), e.Phase, e.Kind)
 	}
 }
 
@@ -121,6 +143,16 @@ func runSim(seed int64, params core.Params, duration time.Duration) {
 	tb.Sched.Run()
 	fmt.Printf("done: TN clock true offset at end: %v\n", tb.TNClock.TrueOffset())
 }
+
+// wallClock reads the host clock with the monotonic reading stripped
+// (Round(0)): time.Time subtraction then measures wall time, so the
+// client's wall-vs-monotonic comparison can actually see a suspend or
+// an external clock step. clock.System would hand back hybrid
+// timestamps whose Sub() silently uses the monotonic reading,
+// blinding the detector.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now().Round(0) }
 
 // cmdHints shells out to the platform utility and parses its output.
 type cmdHints struct {
@@ -173,9 +205,25 @@ func runUDP(servers []string, hintsMode, hintsCmd, iface, driftPath string, para
 		params.WarmupServers = servers
 	}
 	params.RegularServer = servers[0]
-	c := core.New(clock.System{}, nil, &ntpnet.Client{Timeout: 3 * time.Second},
+	c := core.New(wallClock{}, nil, &ntpnet.Client{Timeout: 3 * time.Second},
 		hp, sntp.WallSleeper{}, params)
 	c.OnEvent = printEvent
+	// Suspend/resume detection needs a monotonic reading the wall
+	// clock's jumps cannot touch; time.Since reads Go's monotonic
+	// clock, which (on Linux with CLOCK_BOOTTIME semantics aside)
+	// stands still across a suspend while the wall clock leaps.
+	start := time.Now()
+	c.Mono = func() time.Duration { return time.Since(start) }
+	// SIGHUP is the roaming hook: `kill -HUP` after switching networks
+	// resets per-source path health and triggers an immediate
+	// re-probe on a jittered backoff.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			c.NetworkChanged()
+		}
+	}()
 	if driftPath != "" {
 		if prev, ok, err := driftfile.Load(driftPath); err != nil {
 			fmt.Fprintf(os.Stderr, "driftfile: %v\n", err)

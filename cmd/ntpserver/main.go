@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"mntp/internal/clock"
@@ -88,7 +89,10 @@ func main() {
 		fmt.Printf("%s rate-table=%d\n", srv.Snapshot(), srv.RateTableSize())
 	}
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	// SIGTERM is what service managers (systemd, docker stop) send;
+	// without it the server was killed uncleanly, skipping the final
+	// stats snapshot and socket close below.
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	// A zero interval disables periodic stats (time.NewTicker panics
 	// on it); the ticker is stopped before shutdown either way.

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"mntp/internal/netsim"
+)
+
+// TestScenarios runs every named chaos scenario and enforces both the
+// universal invariant (no step beyond the panic threshold after
+// warm-up, outside explicitly allowed recovery windows) and each
+// scenario's own acceptance checks. Virtual time keeps the whole
+// suite cheap enough for CI under -race.
+func TestScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			r := Run(sc)
+			for _, v := range r.Violations() {
+				t.Error(v)
+			}
+			if t.Failed() {
+				t.Logf("final offset %v, state %s, events %v, %d steps",
+					r.Final, r.FinalState, r.Counts, len(r.Steps))
+			}
+		})
+	}
+}
+
+// TestGateImpairments pins the Gate's semantics in isolation.
+func TestGateImpairments(t *testing.T) {
+	inner := netsim.FuncPath(func(time.Duration, netsim.Direction) (time.Duration, bool) {
+		return 10 * time.Millisecond, false
+	})
+	g := NewGate(inner, 1)
+
+	if d, lost := g.SampleOneWay(0, netsim.Uplink); lost || d != 10*time.Millisecond {
+		t.Fatalf("transparent gate: %v %v", d, lost)
+	}
+	g.SetDown(true)
+	if _, lost := g.SampleOneWay(0, netsim.Uplink); !lost {
+		t.Fatal("down gate must lose packets")
+	}
+	g.SetDown(false)
+	g.SetExtra(40*time.Millisecond, 5*time.Millisecond)
+	if d, _ := g.SampleOneWay(0, netsim.Uplink); d != 50*time.Millisecond {
+		t.Fatalf("uplink extra: %v", d)
+	}
+	if d, _ := g.SampleOneWay(0, netsim.Downlink); d != 15*time.Millisecond {
+		t.Fatalf("downlink extra: %v", d)
+	}
+	g.SetExtra(0, 0)
+	g.SetLoss(1)
+	if _, lost := g.SampleOneWay(0, netsim.Uplink); !lost {
+		t.Fatal("loss=1 gate must lose packets")
+	}
+}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"math"
+	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"mntp/internal/clock"
+	"mntp/internal/discipline"
 	"mntp/internal/exchange"
 	"mntp/internal/hints"
 	"mntp/internal/ntppkt"
@@ -73,6 +76,22 @@ type Params struct {
 	// Version is the NTP version in requests (default 4).
 	Version uint8
 
+	// StepThreshold separates slewed from stepped corrections in the
+	// clock discipline (default 128 ms, ntpd's STEPT). See
+	// internal/discipline.
+	StepThreshold time.Duration
+	// PanicThreshold refuses implausible corrections once
+	// synchronized, emitting EventPanicStep instead of applying them
+	// (default 10 s; negative disables the gate).
+	PanicThreshold time.Duration
+	// HoldoverMax bounds how long holdover retains the sync state
+	// before degrading to cold (default 1 h).
+	HoldoverMax time.Duration
+	// HoldoverAfter is how many consecutive sample-less rounds (total
+	// blackout or persistent selection failure) put the discipline
+	// into holdover (default 3).
+	HoldoverAfter int
+
 	// DisableDriftCorrection skips correctSystemClockDrift — the
 	// paper's head-to-head baseline experiments (§5.1) switch drift
 	// correction off.
@@ -123,6 +142,9 @@ func (p *Params) applyDefaults() {
 	}
 	if (p.Thresholds == hints.Thresholds{}) {
 		p.Thresholds = hints.Default()
+	}
+	if p.HoldoverAfter == 0 {
+		p.HoldoverAfter = 3
 	}
 }
 
@@ -177,6 +199,29 @@ const (
 	// kinds keep the emitted events consistent with the message
 	// counts of the §5.1 comparisons.
 	EventDropped
+	// EventAdjustError: the system-clock adjuster refused a step or
+	// frequency correction (EPERM on an unprivileged host, a kernel
+	// rejecting an out-of-range adjtimex). The offset survives in the
+	// filter but the clock was not moved — previously this failure
+	// was silently discarded.
+	EventAdjustError
+	// EventHoldover: the source pool went dark (or selection failed)
+	// for HoldoverAfter consecutive rounds; the discipline entered
+	// holdover, free-running on the last good frequency estimate.
+	EventHoldover
+	// EventPanicStep: an accepted offset exceeded the panic threshold
+	// and the discipline refused to apply it. Offset carries the
+	// refused correction.
+	EventPanicStep
+	// EventResumed: wall-vs-monotonic divergence revealed a
+	// suspend/resume (or an external clock step); in-flight samples
+	// were invalidated and the client restarts with a fresh warm-up.
+	// Offset carries the detected jump.
+	EventResumed
+	// EventNetworkChanged: the NetworkChanged hook fired; per-source
+	// path health was reset and the client re-probes on a jittered
+	// exponential backoff.
+	EventNetworkChanged
 )
 
 // String renders the event kind.
@@ -198,6 +243,16 @@ func (k EventKind) String() string {
 		return "kod"
 	case EventDropped:
 		return "dropped"
+	case EventAdjustError:
+		return "adjust-error"
+	case EventHoldover:
+		return "holdover"
+	case EventPanicStep:
+		return "panic-step"
+	case EventResumed:
+		return "resumed"
+	case EventNetworkChanged:
+		return "network-changed"
 	default:
 		return "unknown"
 	}
@@ -241,6 +296,13 @@ type Client struct {
 	// Tuner, when non-nil, adjusts Params between reset cycles
 	// (self-tuning, the paper's §7 future work).
 	Tuner Tuner
+	// Mono, when non-nil, reads a monotonic clock that pauses during
+	// system suspend (CLOCK_MONOTONIC). Each sample then feeds
+	// wall-vs-monotonic suspend detection: a resume invalidates the
+	// in-flight sample and forces a re-warm-up instead of a spurious
+	// giant step. Nil disables detection (simulated runs whose clocks
+	// have no suspend semantics).
+	Mono func() time.Duration
 
 	filter *Filter
 	// pool owns the upstream sources: health state, concurrent
@@ -254,12 +316,35 @@ type Client struct {
 	// cannot double as the sentinel).
 	minDelay     time.Duration
 	haveMinDelay bool
-	start    time.Time
-	requests int
-	freqCorr float64
-	cycle    CycleStats
-	cycleSq  float64 // sum of squared corrected residuals (ms²)
-	cycleN   int
+	start        time.Time
+	requests     int
+	freqCorr     float64
+	cycle        CycleStats
+	cycleSq      float64 // sum of squared corrected residuals (ms²)
+	cycleN       int
+
+	// disc is the clock discipline every correction flows through:
+	// step/slew/panic decisions, the frequency clamp, holdover and
+	// suspend detection all live there.
+	disc *discipline.Discipline
+	// dryRounds counts consecutive rounds that produced no sample
+	// (blackout or persistent selection failure); at HoldoverAfter
+	// the discipline enters holdover.
+	dryRounds int
+	// restart asks the current cycle to end so Run re-enters warm-up
+	// (set after a detected resume or a panic streak).
+	restart bool
+	// backoff, when positive, overrides the next sleep with a
+	// jittered exponential re-probe delay (activated by
+	// NetworkChanged; deactivated by any obtained sample or once it
+	// reaches the normal cadence). rng drives the jitter, seeded
+	// deterministically so simulations stay reproducible.
+	backoff time.Duration
+	rng     *rand.Rand
+	// netGen is bumped by NetworkChanged (any goroutine); seenGen is
+	// the run loop's last observed value.
+	netGen  atomic.Uint32
+	seenGen uint32
 }
 
 // New creates an MNTP client with defaults applied.
@@ -277,7 +362,13 @@ func New(clk clock.Clock, adj sysclock.Adjuster, tr exchange.Transport,
 	c := &Client{
 		Clock: clk, Adjuster: adj, Transport: tr, Hints: hp, Sleeper: sl,
 		Params: params,
+		rng:    rand.New(rand.NewSource(0x6d6e7470)), // jitter only; determinism matters more than entropy
 	}
+	c.disc = discipline.New(adj, discipline.Config{
+		StepThreshold:  params.StepThreshold,
+		PanicThreshold: params.PanicThreshold,
+		HoldoverMax:    params.HoldoverMax,
+	})
 	// The pool's slots are the warm-up references plus the regular
 	// reference when it is a distinct name. Duplicate warm-up entries
 	// (the paper queries one pool name several times) stay distinct
@@ -311,6 +402,19 @@ func (c *Client) Requests() int { return c.requests }
 
 // Pool exposes the client's source pool (for status dumps and tests).
 func (c *Client) Pool() *sources.Pool { return c.pool }
+
+// Discipline exposes the clock discipline (for status dumps and
+// tests).
+func (c *Client) Discipline() *discipline.Discipline { return c.disc }
+
+// NetworkChanged tells the client the underlying network attachment
+// changed (new access point, interface handover, cellular roam). Safe
+// from any goroutine. The run loop reacts at its next round: it
+// resets the pool's path-dependent health state (reach, smoothed
+// delay/jitter — all measured on the old path) and re-probes
+// immediately with a jittered exponential backoff instead of waiting
+// out the regular cadence.
+func (c *Client) NetworkChanged() { c.netGen.Add(1) }
 
 // PoolStatus returns a health snapshot of every upstream source.
 func (c *Client) PoolStatus() []sources.SourceStatus { return c.pool.Status() }
@@ -350,12 +454,17 @@ func (c *Client) runCycle(total time.Duration) {
 
 	// Warm-up phase (steps 4–14).
 	for c.elapsed()-cycleStart < p.WarmupPeriod && c.elapsed() < total {
+		c.preflight()
 		h, ok := c.waitFavorable(PhaseWarmup, total)
 		if !ok {
 			return // ran out of experiment time while deferred
 		}
 		c.warmupRound(h)
-		c.Sleeper.Sleep(p.WarmupWaitTime)
+		if c.restart {
+			c.restart = false
+			return // re-enter warm-up with fresh state
+		}
+		c.Sleeper.Sleep(c.nextWait(p.WarmupWaitTime))
 	}
 
 	// Step 16: correct the system clock drift from the estimate. A
@@ -370,8 +479,17 @@ func (c *Client) runCycle(total time.Duration) {
 	if est, se, ok := c.filter.DriftWithError(); ok &&
 		!p.DisableDriftCorrection && !p.DisableClockUpdates &&
 		se <= maxDriftStdErr && plausibleFreq(c.freqCorr+est) {
-		c.freqCorr += est
-		if err := c.Adjuster.AdjustFreq(c.freqCorr); err == nil {
+		applied, err := c.disc.SetFreq(c.freqCorr + est)
+		if err != nil {
+			// A refused kernel adjust used to vanish here; make it
+			// visible and leave freqCorr at the value actually in
+			// effect.
+			c.emit(Event{
+				Elapsed: c.elapsed(), Phase: PhaseRegular,
+				Kind: EventAdjustError, Drift: est, Requests: c.requests,
+			})
+		} else {
+			c.freqCorr = applied
 			c.filter.ApplyFreq(est, c.elapsed())
 			c.emit(Event{
 				Elapsed: c.elapsed(), Phase: PhaseRegular,
@@ -382,12 +500,17 @@ func (c *Client) runCycle(total time.Duration) {
 
 	// Regular phase (steps 17–26).
 	for c.elapsed()-cycleStart < p.ResetPeriod && c.elapsed() < total {
+		c.preflight()
 		h, ok := c.waitFavorable(PhaseRegular, total)
 		if !ok {
 			return
 		}
 		c.regularRound(h)
-		c.Sleeper.Sleep(p.RegularWaitTime)
+		if c.restart {
+			c.restart = false
+			return // re-enter warm-up with fresh state
+		}
+		c.Sleeper.Sleep(c.nextWait(p.RegularWaitTime))
 	}
 	// Step 23–24: reset period elapsed → restart at step 1.
 	if c.Tuner != nil {
@@ -407,13 +530,72 @@ func (c *Client) runCycle(total time.Duration) {
 // whose total error is tens of ppm.
 const maxDriftStdErr = 25e-6
 
-// maxFreqCorrection bounds the cumulative frequency correction, like
-// ntpd's 500 ppm clamp (kept tighter here: no sane oscillator needs
-// more than ±300 ppm).
-const maxFreqCorrection = 300e-6
-
+// plausibleFreq gates a drift estimate before it is even offered to
+// the discipline: a cumulative correction beyond the shared ±500 ppm
+// clamp means the trend fit is wrong, not the oscillator.
 func plausibleFreq(f float64) bool {
-	return f >= -maxFreqCorrection && f <= maxFreqCorrection
+	return f >= -discipline.MaxFreq && f <= discipline.MaxFreq
+}
+
+// preflight reacts to NetworkChanged notifications at a round
+// boundary: the pool forgets the old path's health and the client
+// switches its next sleeps to a jittered exponential backoff so the
+// new path is probed immediately rather than after a full cadence
+// interval.
+func (c *Client) preflight() {
+	gen := c.netGen.Load()
+	if gen == c.seenGen {
+		return
+	}
+	c.seenGen = gen
+	c.pool.ResetHealth()
+	c.backoff = reprobeBase
+	c.emit(Event{
+		Elapsed: c.elapsed(), Kind: EventNetworkChanged, Requests: c.requests,
+	})
+}
+
+// reprobeBase is the first re-probe delay after a network change; it
+// doubles per empty-handed round until it reaches the phase's normal
+// cadence.
+const reprobeBase = time.Second
+
+// nextWait returns the sleep before the next round: the normal phase
+// cadence, or — while a post-network-change backoff is active — a
+// jittered exponential delay in [b/2, b] that doubles each round and
+// retires once it catches up with the cadence.
+func (c *Client) nextWait(normal time.Duration) time.Duration {
+	if c.backoff <= 0 || c.backoff >= normal {
+		c.backoff = 0
+		return normal
+	}
+	b := c.backoff
+	c.backoff *= 2
+	half := b / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// roundDry records a round that obtained no usable sample. After
+// HoldoverAfter consecutive dry rounds a synchronized discipline
+// enters holdover: the clock free-runs on the last good frequency
+// while an uncertainty bound ages (EventHoldover marks the entry).
+func (c *Client) roundDry(phase Phase, h hints.Hints) {
+	c.dryRounds++
+	if c.dryRounds >= c.Params.HoldoverAfter && c.disc.EnterHoldover(c.Clock.Now()) {
+		drift, _ := c.filter.Drift()
+		c.emit(Event{
+			Elapsed: c.elapsed(), Phase: phase, Kind: EventHoldover,
+			Hints: h, Requests: c.requests, Drift: drift,
+		})
+	}
+}
+
+// roundWet records that a round produced a sample: the blackout
+// counter and any re-probe backoff reset. Holdover, if entered, exits
+// through the discipline when the sample is applied.
+func (c *Client) roundWet() {
+	c.dryRounds = 0
+	c.backoff = 0
 }
 
 func sqrtMs(v float64) float64 {
@@ -493,12 +675,16 @@ func (c *Client) warmupRound(h hints.Hints) {
 		}
 	}
 	if len(samples) == 0 {
+		// Nothing usable came back: a blackout round.
+		c.roundDry(PhaseWarmup, h)
 		return
 	}
 	if hh, ok := c.favorableNow(); !ok {
 		// The channel degraded while the round's exchanges were in
 		// flight: every sample is suspect; drop them. The requests
 		// were already spent, hence Dropped rather than Deferred.
+		// Neither dry nor wet for holdover accounting — the sources
+		// answered, the channel vetoed.
 		c.emit(Event{
 			Elapsed: c.elapsed(), Phase: PhaseWarmup, Kind: EventDropped,
 			Hints: hh, Requests: c.requests,
@@ -521,10 +707,13 @@ func (c *Client) warmupRound(h hints.Hints) {
 		if !sel.OK {
 			// No majority and no dominant-score source: the round is
 			// ambiguous; offering an average would poison the filter.
+			// Persistently ambiguous rounds count toward holdover.
+			c.roundDry(PhaseWarmup, h)
 			return
 		}
 		offset = sel.Offset
 	}
+	c.roundWet()
 	c.offer(PhaseWarmup, offset, h, false)
 }
 
@@ -558,8 +747,11 @@ func (c *Client) regularRound(h hints.Hints) {
 				Hints: h, Requests: c.requests,
 			})
 		}
+		// Both total failure and total hold-down are blackout rounds.
+		c.roundDry(PhaseRegular, h)
 		return
 	}
+	c.roundWet()
 	if !c.delayAcceptable(s.Delay) {
 		c.emit(Event{
 			Elapsed: c.elapsed(), Phase: PhaseRegular, Kind: EventRejected,
@@ -577,10 +769,31 @@ func (c *Client) regularRound(h hints.Hints) {
 	c.offer(PhaseRegular, s.Offset, h, true)
 }
 
+// panicRestartAfter is how many consecutive panic-refused corrections
+// force a re-warm-up: persistent huge offsets mean either the clock
+// or the sources really are that wrong, and only a fresh multi-source
+// warm-up can tell which.
+const panicRestartAfter = 3
+
 // offer pushes an offset through the filter, emits the event, and in
-// the regular phase applies accepted offsets to the clock.
+// the regular phase applies accepted offsets to the clock through the
+// discipline gate (slew/step/panic, holdover exit).
 func (c *Client) offer(phase Phase, offset time.Duration, h hints.Hints, update bool) {
 	elapsed := c.elapsed()
+	// Suspend/resume check first: if the device slept while this
+	// sample was in flight, the sample's timestamps straddle the gap
+	// and its offset is garbage. Discard it, desynchronize, and
+	// restart with a fresh warm-up.
+	if c.Mono != nil {
+		if jump, resumed := c.disc.ObserveTimes(c.Clock.Now(), c.Mono()); resumed {
+			c.emit(Event{
+				Elapsed: elapsed, Phase: phase, Kind: EventResumed,
+				Offset: jump, Hints: h, Requests: c.requests,
+			})
+			c.restart = true
+			return
+		}
+	}
 	var accepted bool
 	var pred time.Duration
 	var predOK bool
@@ -609,8 +822,27 @@ func (c *Client) offer(phase Phase, offset time.Duration, h hints.Hints, update 
 	})
 
 	if accepted && update && !c.Params.DisableClockUpdates {
-		if err := c.Adjuster.Step(offset); err == nil {
-			c.filter.ApplyStep(offset)
+		res := c.disc.Apply(offset, c.Clock.Now())
+		switch {
+		case res.Err != nil:
+			// The adjuster refused the correction (satellite of this
+			// PR: this error used to vanish in an `if err == nil`).
+			c.emit(Event{
+				Elapsed: elapsed, Phase: phase, Kind: EventAdjustError,
+				Offset: offset, Hints: h, Requests: c.requests,
+			})
+		case res.Action == discipline.ActionPanic:
+			c.emit(Event{
+				Elapsed: elapsed, Phase: phase, Kind: EventPanicStep,
+				Offset: offset, Hints: h, Requests: c.requests,
+			})
+			if c.disc.ConsecutivePanics() >= panicRestartAfter {
+				c.restart = true
+			}
+		default:
+			if res.Applied != 0 {
+				c.filter.ApplyStep(res.Applied)
+			}
 		}
 	}
 }
@@ -645,6 +877,10 @@ func (c *Client) emit(e Event) {
 		// A dropped sample consumed a request without yielding an
 		// offset; for the tuner's purposes that is a failed attempt.
 		c.cycle.Failed++
+	case EventAdjustError:
+		c.cycle.AdjustErrors++
+	case EventPanicStep:
+		c.cycle.PanicSteps++
 	}
 	if c.OnEvent != nil {
 		c.OnEvent(e)

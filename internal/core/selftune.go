@@ -10,6 +10,10 @@ import (
 type CycleStats struct {
 	// Accepted/Rejected/Deferred/Failed count this cycle's events.
 	Accepted, Rejected, Deferred, Failed int
+	// AdjustErrors counts corrections the system-clock adjuster
+	// refused (EventAdjustError); PanicSteps counts corrections the
+	// discipline's panic gate refused (EventPanicStep).
+	AdjustErrors, PanicSteps int
 	// Requests is the number of SNTP requests emitted this cycle.
 	Requests int
 	// ResidRMSE is the RMSE (ms) of accepted offsets' deviations from

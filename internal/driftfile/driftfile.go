@@ -6,14 +6,19 @@
 // benefit; cmd/mntp persists the estimate on exit.
 //
 // The format is ntpd-compatible: a single line holding the frequency
-// in parts per million, e.g. "-17.346\n".
+// in parts per million, e.g. "-17.346\n". The plausibility bound is
+// discipline.MaxFreqPPM, shared with the clock discipline's clamp, so
+// a value that loads cleanly here is always applicable there.
 package driftfile
 
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+
+	"mntp/internal/discipline"
 )
 
 // Load reads a drift file and returns the stored frequency correction
@@ -35,25 +40,49 @@ func Load(path string) (correction float64, ok bool, err error) {
 	if err != nil {
 		return 0, false, fmt.Errorf("driftfile: parse %s: %w", path, err)
 	}
-	if ppm < -500 || ppm > 500 {
-		// ntpd clamps at ±500 ppm; anything beyond is corruption.
+	if ppm < -discipline.MaxFreqPPM || ppm > discipline.MaxFreqPPM {
+		// The discipline clamps at ±500 ppm; anything beyond is
+		// corruption.
 		return 0, false, fmt.Errorf("driftfile: implausible frequency %v ppm", ppm)
 	}
 	return ppm * 1e-6, true, nil
 }
 
 // Store writes the frequency correction (seconds per second)
-// atomically: write-to-temp then rename, so a crash never leaves a
-// torn file.
+// atomically and durably: a unique temp file in the target directory
+// (concurrent writers never collide on a fixed name), fsynced before
+// the rename so a post-rename crash cannot surface an empty file, then
+// renamed over the target.
 func Store(path string, correction float64) error {
 	ppm := correction * 1e6
-	if ppm < -500 || ppm > 500 {
+	if ppm < -discipline.MaxFreqPPM || ppm > discipline.MaxFreqPPM {
 		return fmt.Errorf("driftfile: refusing to store implausible frequency %v ppm", ppm)
 	}
-	tmp := path + ".tmp"
 	content := strconv.FormatFloat(ppm, 'f', 3, 64) + "\n"
-	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
-		return fmt.Errorf("driftfile: write %s: %w", tmp, err)
+
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("driftfile: create temp in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.WriteString(content); err != nil {
+		return cleanup(fmt.Errorf("driftfile: write %s: %w", tmp, err))
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(fmt.Errorf("driftfile: chmod %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("driftfile: fsync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("driftfile: close %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)

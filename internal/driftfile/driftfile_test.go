@@ -3,6 +3,7 @@ package driftfile
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -93,5 +94,45 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStoreConcurrentWriters hammers Store from many goroutines: with
+// unique temp names (instead of the old fixed ".tmp") no writer can
+// rename another's half-written file, so the result is always exactly
+// one file holding one of the written values.
+func TestStoreConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "drift")
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := Store(path, float64(i)*1e-6); err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("dir holds %v, want only the drift file", names)
+	}
+	got, ok, err := Load(path)
+	if err != nil || !ok {
+		t.Fatalf("Load after concurrent stores: %v %v", ok, err)
+	}
+	if got < 0 || got > float64(writers)*1e-6 {
+		t.Errorf("loaded %v outside the written range", got)
 	}
 }

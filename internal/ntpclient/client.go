@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"mntp/internal/clock"
+	"mntp/internal/discipline"
 	"mntp/internal/exchange"
 	"mntp/internal/ntppkt"
 	"mntp/internal/sources"
+	"mntp/internal/sysclock"
 )
 
 // Config parameterizes the full NTP client.
@@ -20,8 +22,14 @@ type Config struct {
 	// StepThreshold is the offset magnitude beyond which the clock is
 	// stepped rather than slewed (default 128 ms, ntpd's STEPT).
 	StepThreshold time.Duration
+	// PanicThreshold refuses offsets beyond it once the clock has
+	// been disciplined (default 1000 s, ntpd's PANICT — but instead
+	// of exiting like ntpd, the round reports Update.Panicked and
+	// the clock is left alone; negative disables the gate).
+	PanicThreshold time.Duration
 	// FreqClamp bounds the absolute frequency correction
-	// (default 500 ppm, ntpd's maximum).
+	// (default 500 ppm, ntpd's maximum, shared with
+	// internal/discipline and internal/driftfile).
 	FreqClamp float64
 	// InitialFreq seeds the frequency correction (seconds per
 	// second), like ntpd's drift file: a host that has run NTP before
@@ -39,8 +47,11 @@ func (c *Config) applyDefaults() {
 	if c.StepThreshold == 0 {
 		c.StepThreshold = 128 * time.Millisecond
 	}
+	if c.PanicThreshold == 0 {
+		c.PanicThreshold = 1000 * time.Second
+	}
 	if c.FreqClamp == 0 {
-		c.FreqClamp = 500e-6
+		c.FreqClamp = discipline.MaxFreq
 	}
 }
 
@@ -54,6 +65,9 @@ type Update struct {
 	Applied bool
 	// Stepped reports whether the adjustment was a step (vs slew).
 	Stepped bool
+	// Panicked reports that the offset exceeded the panic threshold
+	// and the discipline refused to apply it.
+	Panicked bool
 	// Poll is the interval until the next round.
 	Poll time.Duration
 }
@@ -75,6 +89,10 @@ type Client struct {
 	// selection. The client performs its own exchanges — the pool is
 	// fed through its Report methods.
 	pool *sources.Pool
+	// disc gates every clock correction: step-vs-slew (slew gain 1/2
+	// emulates the old half-offset nudge), the panic threshold and
+	// the shared frequency clamp.
+	disc *discipline.Discipline
 	// discipline state
 	freq     float64 // accumulated frequency correction (s/s)
 	pollExp  int     // current poll interval = MinPoll << pollExp
@@ -93,10 +111,17 @@ func New(clk clock.Adjustable, tr exchange.Transport, cfg Config) *Client {
 			FullNTP:     true,
 			KoDBaseHold: demobilizePeriod,
 		}),
-		freq: cfg.InitialFreq,
 	}
+	c.disc = discipline.New(sysclock.SimAdjuster{Clock: clk}, discipline.Config{
+		StepThreshold:  cfg.StepThreshold,
+		PanicThreshold: cfg.PanicThreshold,
+		SlewGain:       0.5,
+		FreqClamp:      cfg.FreqClamp,
+	})
 	if cfg.InitialFreq != 0 {
-		clk.AdjustFreq(cfg.InitialFreq)
+		// Through the gate, so a corrupt drift-file value is clamped
+		// to the shared ±500 ppm bound before touching the clock.
+		c.freq, _ = c.disc.SetFreq(cfg.InitialFreq)
 	}
 	for _, s := range cfg.Servers {
 		c.peers[s] = &peerFilter{}
@@ -191,13 +216,22 @@ func (c *Client) PoolStatus() []sources.SourceStatus {
 	return c.pool.Status()
 }
 
-// discipline applies the offset to the clock: a step beyond the step
-// threshold, otherwise a phase nudge plus an integral frequency
-// correction (a first-order PLL).
+// discipline applies the offset to the clock through the discipline
+// gate: a step beyond the step threshold, a refusal beyond the panic
+// threshold, otherwise a phase nudge (half the offset, via the gate's
+// slew gain) plus an integral frequency correction (a first-order
+// PLL).
 func (c *Client) discipline(offset time.Duration, u *Update) {
 	now := c.Clock.Now()
-	if offset > c.Config.StepThreshold || offset < -c.Config.StepThreshold {
-		c.Clock.Step(offset)
+	res := c.disc.Apply(offset, now)
+	switch res.Action {
+	case discipline.ActionPanic:
+		// An implausible jump after the clock has been disciplined:
+		// refuse it and keep the filter history — if it is real, it
+		// will persist and the caller can decide to restart.
+		u.Panicked = true
+		return
+	case discipline.ActionStepped:
 		// A step invalidates phase history and every sample in the
 		// peer filters (their offsets were measured against the
 		// pre-step clock); ntpd likewise clears its registers.
@@ -208,18 +242,18 @@ func (c *Client) discipline(offset time.Duration, u *Update) {
 		u.Applied, u.Stepped = true, true
 		return
 	}
-	// Phase: correct half the measured offset immediately (the
+	// Slewed: half the measured offset was applied immediately (the
 	// remainder is absorbed by subsequent rounds, emulating ntpd's
 	// gradual slew without sub-second simulation ticks). The filter
 	// registers are re-expressed against the adjusted clock so the
 	// same error is never corrected twice.
-	c.Clock.Step(offset / 2)
 	for _, pf := range c.peers {
-		pf.shiftOffsets(offset / 2)
+		pf.shiftOffsets(res.Applied)
 	}
 	// Frequency: PLL integral term, freq += θ·μ/(4·τ²) with the time
 	// constant τ floored at 64 s so measurement noise at short poll
 	// intervals does not random-walk the frequency (RFC 5905 §11.3).
+	// The gate clamps the accumulated value to the shared ±500 ppm.
 	if c.haveLast {
 		dt := now.Sub(c.lastTime).Seconds()
 		if dt > 0 {
@@ -228,13 +262,7 @@ func (c *Client) discipline(offset time.Duration, u *Update) {
 				tc = 64
 			}
 			c.freq += offset.Seconds() * dt / (4 * tc * tc)
-			if c.freq > c.Config.FreqClamp {
-				c.freq = c.Config.FreqClamp
-			}
-			if c.freq < -c.Config.FreqClamp {
-				c.freq = -c.Config.FreqClamp
-			}
-			c.Clock.AdjustFreq(c.freq)
+			c.freq, _ = c.disc.SetFreq(c.freq)
 		}
 	}
 	c.lastTime = now

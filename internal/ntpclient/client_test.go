@@ -211,3 +211,60 @@ func TestKoDDemobilizesPeer(t *testing.T) {
 	})
 	sched.Run()
 }
+
+func TestPollPanicRefusesImplausibleJump(t *testing.T) {
+	sched := netsim.NewScheduler(epoch)
+	net, names := buildPoolNet(sched, 3, 0)
+	clk := clock.NewSim(clock.Config{Seed: 8}, epoch, sched.Now)
+
+	sched.Go(func(p *netsim.Proc) {
+		tr := &netsim.Transport{Net: net, Proc: p, Clock: clk}
+		c := New(clk, tr, Config{Servers: names, PanicThreshold: 10 * time.Second})
+		// First poll synchronizes and arms the panic gate.
+		if _, err := c.Poll(); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(30 * time.Second)
+		// Something yanks the local clock an hour off. Once the +1h
+		// offset works through the peer filters' 8-sample registers
+		// (stale pre-step samples win the min-delay pick for a few
+		// rounds), it exceeds the panic threshold and the discipline
+		// must refuse it rather than "correct" by stepping.
+		clk.Step(-time.Hour)
+		var sawPanic bool
+		for i := 0; i < 12; i++ {
+			u, err := c.Poll()
+			if err != nil {
+				continue // stale/fresh sample mixes can lose consensus
+			}
+			if u.Panicked {
+				if u.Applied {
+					t.Errorf("poll %d: update %+v both panicked and applied", i, u)
+				}
+				sawPanic = true
+			}
+			p.Sleep(16 * time.Second)
+		}
+		if !sawPanic {
+			t.Error("1h jump never tripped the panic gate")
+		}
+		off := clk.TrueOffset()
+		if off > -59*time.Minute {
+			t.Errorf("clock moved despite panic: true offset %v", off)
+		}
+	})
+	sched.Run()
+}
+
+func TestInitialFreqClampedThroughSharedBound(t *testing.T) {
+	sched := netsim.NewScheduler(epoch)
+	net, names := buildPoolNet(sched, 1, 0)
+	_ = net
+	clk := clock.NewSim(clock.Config{Seed: 9}, epoch, sched.Now)
+	// A corrupt drift file claims 9000 ppm; the shared clamp caps it.
+	c := New(clk, nil, Config{Servers: names, InitialFreq: 9000e-6})
+	if f := c.FreqCorrection(); f != 500e-6 {
+		t.Fatalf("initial freq = %v, want clamped 500ppm", f)
+	}
+}

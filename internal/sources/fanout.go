@@ -2,12 +2,19 @@ package sources
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"mntp/internal/exchange"
 	"mntp/internal/ntppkt"
 )
+
+// ErrAllSourcesFailed is returned (wrapped around the last per-source
+// error) when MeasureBest sent requests but every attempt failed —
+// distinct from ErrNoEligibleSource, where nothing was sent at all.
+// Callers watching for total blackout match it with errors.Is.
+var ErrAllSourcesFailed = errors.New("sources: every attempted source failed")
 
 // Outcome is the result of querying (or skipping) one source slot
 // during a fan-out round or a MeasureBest attempt.
@@ -103,7 +110,7 @@ func (p *Pool) MeasureBest() (exchange.Sample, []Outcome, error) {
 		}
 		lastErr = o.Err
 	}
-	return exchange.Sample{}, outs, lastErr
+	return exchange.Sample{}, outs, fmt.Errorf("%w: %w", ErrAllSourcesFailed, lastErr)
 }
 
 // query performs one exchange with slot i and updates its health.

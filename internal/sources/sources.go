@@ -363,6 +363,25 @@ func (p *Pool) ReportError(name string, err error) {
 	}
 }
 
+// ResetHealth clears the path-dependent health state of every source:
+// the reach register and the smoothed delay/jitter, all of which
+// describe the network path that just changed, are dropped; lifetime
+// counters, falseticker demotion (a property of the server's truth,
+// not of the path) and KoD hold-downs (rate-limiting abuse protection
+// owed to the server regardless of where we roam) survive. Clients
+// call this from their NetworkChanged hook so the pool re-learns the
+// new path instead of ranking sources by stale measurements.
+func (p *Pool) ResetHealth() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.srcs {
+		s.reach = 0
+		s.delay, s.jitter = 0, 0
+		s.haveDelay = false
+		s.lastErr = ""
+	}
+}
+
 // MarkResult records a selection outcome computed outside the pool:
 // survivors have their falseticker weight decayed, flagged sources
 // accumulate demotion.

@@ -27,6 +27,7 @@ package mntp
 import (
 	"mntp/internal/clock"
 	"mntp/internal/core"
+	"mntp/internal/discipline"
 	"mntp/internal/exchange"
 	"mntp/internal/hints"
 	"mntp/internal/ntpclient"
@@ -62,6 +63,11 @@ const (
 	EventDriftCorrected = core.EventDriftCorrected
 	EventKoD            = core.EventKoD
 	EventDropped        = core.EventDropped
+	EventAdjustError    = core.EventAdjustError
+	EventHoldover       = core.EventHoldover
+	EventPanicStep      = core.EventPanicStep
+	EventResumed        = core.EventResumed
+	EventNetworkChanged = core.EventNetworkChanged
 )
 
 // NewClient creates an MNTP client. See core.New.
@@ -70,6 +76,36 @@ var NewClient = core.New
 // DefaultParams returns the paper's baseline configuration against
 // the given pool.
 var DefaultParams = core.DefaultParams
+
+// Guarded clock discipline (step/panic thresholds, holdover).
+type (
+	// Discipline is the single gate every clock correction passes
+	// through: step-vs-slew, panic refusal, the shared ±500 ppm
+	// frequency clamp, holdover and suspend detection.
+	Discipline = discipline.Discipline
+	// DisciplineConfig are the gate's thresholds.
+	DisciplineConfig = discipline.Config
+	// DisciplineState is the gate's sync state (cold/sync/holdover).
+	DisciplineState = discipline.State
+	// DisciplineStatus is an observable snapshot of the gate.
+	DisciplineStatus = discipline.Status
+	// DisciplineResult reports what one correction attempt did.
+	DisciplineResult = discipline.Result
+)
+
+// Discipline states and the shared frequency bound.
+const (
+	DisciplineCold     = discipline.StateCold
+	DisciplineSync     = discipline.StateSync
+	DisciplineHoldover = discipline.StateHoldover
+	// MaxFreqPPM is the plausibility bound on frequency corrections
+	// (±500 ppm), shared by the discipline, the drift file and the
+	// full NTP client.
+	MaxFreqPPM = discipline.MaxFreqPPM
+)
+
+// NewDiscipline creates a standalone discipline gate over an adjuster.
+var NewDiscipline = discipline.New
 
 // Wireless hints.
 type (
