@@ -4,14 +4,26 @@
 // listen path is sharded across SO_REUSEPORT sockets (-shards), each
 // shard running its own pool of worker goroutines; abusive clients
 // are rate-limited from a bounded table, and the merged metrics
-// surface (served/limited/dropped/malformed counters plus a
-// request-latency histogram) is printed periodically.
+// surface (served/limited/shed/dropped/malformed counters plus a
+// request-latency histogram and health state) is printed
+// periodically. With -overload the server degrades gracefully under
+// offered load beyond capacity: it sheds new flows with RATE kisses
+// once reply sojourn exceeds -shed-target for a sustained
+// -shed-interval, and drops before parsing when fully overloaded,
+// so the clients it does answer are answered with fresh timestamps.
+// Workers respawn after panics and a watchdog restarts wedged shards.
+//
+// A multi-shard listen is all-or-nothing: when the full REUSEPORT
+// group cannot be bound, the already-bound sockets are closed and the
+// server exits 1 rather than silently serving from fewer queues than
+// requested.
 //
 // Usage:
 //
 //	ntpserver [-listen 127.0.0.1:11123] [-stratum 2] [-shift 0ms]
 //	          [-shards 1] [-workers 0] [-ratelimit 0] [-ratewindow 1m]
-//	          [-maxclients 16384] [-stats 30s]
+//	          [-maxclients 16384] [-stats 30s] [-overload]
+//	          [-shed-target 5ms] [-shed-interval 100ms] [-watchdog 1s]
 package main
 
 import (
@@ -24,18 +36,23 @@ import (
 
 	"mntp/internal/clock"
 	"mntp/internal/ntpnet"
+	"mntp/internal/overload"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:11123", "listen address")
 	stratum := flag.Int("stratum", 2, "advertised stratum (1..15)")
 	shift := flag.Duration("shift", 0, "constant error added to served time")
-	shards := flag.Int("shards", 1, "SO_REUSEPORT listen sockets (0 = 1; >1 needs kernel support, else they share one socket)")
+	shards := flag.Int("shards", 1, "SO_REUSEPORT listen sockets (0 = 1; >1 requires kernel support: partial binds are rejected)")
 	workers := flag.Int("workers", 0, "serve goroutines per shard (0 = GOMAXPROCS/shards)")
 	rateLimit := flag.Int("ratelimit", 0, "max requests per client per window (0 = unlimited)")
 	rateWindow := flag.Duration("ratewindow", time.Minute, "rate-limit window")
 	maxClients := flag.Int("maxclients", ntpnet.DefaultMaxClients, "rate-limit table bound")
 	statsEvery := flag.Duration("stats", 30*time.Second, "metrics print interval (0 = never)")
+	overloadOn := flag.Bool("overload", false, "enable admission control / load shedding")
+	shedTarget := flag.Duration("shed-target", 5*time.Millisecond, "overload: reply-sojourn EWMA target (CoDel-style)")
+	shedInterval := flag.Duration("shed-interval", 100*time.Millisecond, "overload: sustained excess required before shedding")
+	watchdog := flag.Duration("watchdog", time.Second, "watchdog/housekeeping interval (negative = off)")
 	flag.Parse()
 
 	// Validate before anything silently truncates: -stratum feeds a
@@ -66,6 +83,12 @@ func main() {
 	if *statsEvery < 0 {
 		fail("-stats %v is negative", *statsEvery)
 	}
+	if *shedTarget <= 0 {
+		fail("-shed-target %v must be positive", *shedTarget)
+	}
+	if *shedInterval <= 0 {
+		fail("-shed-interval %v must be positive", *shedInterval)
+	}
 
 	var clk clock.Clock = clock.System{}
 	if *shift != 0 {
@@ -73,17 +96,24 @@ func main() {
 	}
 	srv := ntpnet.NewServer(clk, uint8(*stratum))
 	srv.Shards = *shards
+	// A multi-shard listen is all-or-nothing: serving from fewer
+	// queues than requested would silently halve capacity.
+	srv.RequireShards = *shards > 1
 	srv.Workers = *workers
 	srv.RateLimit = *rateLimit
 	srv.RateWindow = *rateWindow
 	srv.MaxClients = *maxClients
+	srv.WatchdogInterval = *watchdog
+	if *overloadOn {
+		srv.Overload = &overload.Config{Target: *shedTarget, Interval: *shedInterval}
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, shards %d, workers %d, ratelimit %d/%v)\n",
-		addr, *stratum, *shift, srv.NumShards(), *workers, *rateLimit, *rateWindow)
+	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, shards %d, workers %d, ratelimit %d/%v, overload %v)\n",
+		addr, *stratum, *shift, srv.NumShards(), *workers, *rateLimit, *rateWindow, *overloadOn)
 
 	printStats := func() {
 		fmt.Printf("%s rate-table=%d\n", srv.Snapshot(), srv.RateTableSize())

@@ -117,6 +117,7 @@ type engine struct {
 	sent     atomic.Uint64
 	received atomic.Uint64
 	kod      atomic.Uint64
+	kodRate  atomic.Uint64
 	expired  atomic.Uint64
 	late     atomic.Uint64
 	stray    atomic.Uint64
@@ -133,7 +134,52 @@ type engine struct {
 	intervalMu sync.Mutex
 	intervals  []Interval
 
+	kodMu    sync.Mutex
+	kodCodes map[string]uint64
+
 	populationBound int
+}
+
+// ReplyClass tells what a matched, in-deadline reply actually was:
+// genuine served time, a deliberate RATE refusal (a rate limit or an
+// overload shed), or another kiss-of-death. Classifying keeps "loss"
+// meaning what it should — no answer at all — instead of lumping a
+// server's explicit refusals in with drops.
+type ReplyClass int
+
+const (
+	// ReplyServed is a mode-4/5 reply carrying time.
+	ReplyServed ReplyClass = iota
+	// ReplyKoDRate is a RATE kiss-of-death: the server answered but
+	// deliberately refused time (rate limiting or load shedding).
+	ReplyKoDRate
+	// ReplyKoDOther is any other kiss-of-death (DENY, RSTR, ...).
+	ReplyKoDOther
+)
+
+// ClassifyReply classifies a decoded server reply by its kiss code.
+// The string is the kiss code for the KoD classes, "" for served
+// time.
+func ClassifyReply(p *ntppkt.Packet) (ReplyClass, string) {
+	code, ok := p.KissCode()
+	if !ok {
+		return ReplyServed, ""
+	}
+	if code == "RATE" {
+		return ReplyKoDRate, code
+	}
+	return ReplyKoDOther, code
+}
+
+// countKoD tallies one kiss-of-death reply by class and code.
+func (e *engine) countKoD(class ReplyClass, code string) {
+	e.kod.Add(1)
+	if class == ReplyKoDRate {
+		e.kodRate.Add(1)
+	}
+	e.kodMu.Lock()
+	e.kodCodes[code]++
+	e.kodMu.Unlock()
 }
 
 // Run executes one load-generation run and returns its report.
@@ -219,7 +265,7 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, fmt.Errorf("loadgen: resolve %q: %w", cfg.Target, err)
 	}
 
-	e := &engine{cfg: cfg, timeout: cfg.Timeout, stop: make(chan struct{})}
+	e := &engine{cfg: cfg, timeout: cfg.Timeout, stop: make(chan struct{}), kodCodes: make(map[string]uint64)}
 	nsocks := cfg.Senders
 	if cfg.Population > nsocks {
 		nsocks = cfg.Population
@@ -389,8 +435,8 @@ func (e *engine) receive(sk *sock) {
 			e.late.Add(1) // reply exists but missed its deadline: lost
 			continue
 		}
-		if _, isKoD := p.KissCode(); isKoD {
-			e.kod.Add(1)
+		if class, code := ClassifyReply(&p); class != ReplyServed {
+			e.countKoD(class, code)
 			continue
 		}
 		e.received.Add(1)

@@ -9,7 +9,68 @@ import (
 
 	"mntp/internal/clock"
 	"mntp/internal/ntpnet"
+	"mntp/internal/ntppkt"
 )
+
+// --- Reply classifier.
+
+// TestClassifyReply pins the kiss-code classification that keeps the
+// report's "loss" honest: RATE kisses are deliberate refusals (rate
+// limits and overload sheds), other kisses are their own bucket, and
+// only genuinely unanswered requests count as lost.
+func TestClassifyReply(t *testing.T) {
+	served := &ntppkt.Packet{Mode: ntppkt.ModeServer, Stratum: 2}
+	rate := &ntppkt.Packet{Mode: ntppkt.ModeServer, Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissRate}
+	deny := &ntppkt.Packet{Mode: ntppkt.ModeServer, Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissDeny}
+	rstr := &ntppkt.Packet{Mode: ntppkt.ModeServer, Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissRstr}
+	// A client-mode stratum-0 packet is not a kiss-of-death.
+	notKoD := &ntppkt.Packet{Mode: ntppkt.ModeClient, Stratum: 0, RefID: ntppkt.KissRate}
+
+	cases := []struct {
+		name string
+		pkt  *ntppkt.Packet
+		want ReplyClass
+		code string
+	}{
+		{"served", served, ReplyServed, ""},
+		{"rate", rate, ReplyKoDRate, "RATE"},
+		{"deny", deny, ReplyKoDOther, "DENY"},
+		{"rstr", rstr, ReplyKoDOther, "RSTR"},
+		{"client mode not KoD", notKoD, ReplyServed, ""},
+	}
+	for _, c := range cases {
+		class, code := ClassifyReply(c.pkt)
+		if class != c.want || code != c.code {
+			t.Errorf("%s: ClassifyReply = (%v, %q), want (%v, %q)", c.name, class, code, c.want, c.code)
+		}
+	}
+}
+
+// TestKoDClassificationReachesReport: counting three RATE and one
+// DENY reply must surface in KoD, KoDRate and the per-code map, so
+// deliberate sheds never masquerade as loss in the JSON.
+func TestKoDClassificationReachesReport(t *testing.T) {
+	e := &engine{cfg: Config{Target: "t", Rate: 1, Duration: time.Second, Senders: 1},
+		timeout: time.Second, kodCodes: make(map[string]uint64)}
+	for i := 0; i < 3; i++ {
+		e.countKoD(ReplyKoDRate, "RATE")
+	}
+	e.countKoD(ReplyKoDOther, "DENY")
+	r := e.report(time.Second)
+	if r.KoD != 4 || r.KoDRate != 3 {
+		t.Errorf("KoD=%d KoDRate=%d, want 4 and 3", r.KoD, r.KoDRate)
+	}
+	if r.KoDCodes["RATE"] != 3 || r.KoDCodes["DENY"] != 1 {
+		t.Errorf("KoDCodes = %v, want RATE:3 DENY:1", r.KoDCodes)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"kod_rate":3`) {
+		t.Errorf("JSON lacks kod_rate: %s", out)
+	}
+}
 
 // --- Recorder.
 

@@ -21,10 +21,15 @@ type Report struct {
 	DurationSec     float64 `json:"duration_sec"`
 	TimeoutSec      float64 `json:"timeout_sec"`
 
-	Sent        uint64 `json:"sent"`
-	Received    uint64 `json:"received"`
-	KoD         uint64 `json:"kod"`
-	Lost        uint64 `json:"lost"`
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+	KoD      uint64 `json:"kod"`
+	// KoDRate counts RATE kisses — the server's deliberate refusals
+	// (rate limiting or overload shedding), as opposed to true loss.
+	// KoDCodes breaks every kiss-of-death down by its code.
+	KoDRate     uint64            `json:"kod_rate,omitempty"`
+	KoDCodes    map[string]uint64 `json:"kod_codes,omitempty"`
+	Lost        uint64            `json:"lost"`
 	LateReplies uint64 `json:"late_replies"`
 	Stray       uint64 `json:"stray"`
 	SendErrors  uint64 `json:"send_errors"`
@@ -81,12 +86,21 @@ func (e *engine) report(sendDur time.Duration) *Report {
 		Sent:            e.sent.Load(),
 		Received:        e.received.Load(),
 		KoD:             e.kod.Load(),
+		KoDRate:         e.kodRate.Load(),
 		LateReplies:     e.late.Load(),
 		Stray:           e.stray.Load(),
 		SendErrors:      e.sendErrs.Load(),
 		RecvErrors:      e.recvErrs.Load(),
 	}
 	r.Lost = e.expired.Load() + e.late.Load()
+	e.kodMu.Lock()
+	if len(e.kodCodes) > 0 {
+		r.KoDCodes = make(map[string]uint64, len(e.kodCodes))
+		for code, n := range e.kodCodes {
+			r.KoDCodes[code] = n
+		}
+	}
+	e.kodMu.Unlock()
 	if sendDur > 0 {
 		r.AchievedSendRate = float64(r.Sent) / sendDur.Seconds()
 		r.ReceivedRate = float64(r.Received) / sendDur.Seconds()
@@ -116,8 +130,8 @@ func (e *engine) report(sendDur time.Duration) *Report {
 // stderr alongside the JSON.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"offered %.0f/s achieved %.0f/s over %.2fs: sent=%d received=%d kod=%d lost=%d (%.2f%%) p50=%.0fµs p99=%.0fµs max=%.0fµs",
+		"offered %.0f/s achieved %.0f/s over %.2fs: sent=%d received=%d kod=%d (rate=%d) lost=%d (%.2f%%) p50=%.0fµs p99=%.0fµs max=%.0fµs",
 		r.OfferedRate, r.AchievedSendRate, r.DurationSec,
-		r.Sent, r.Received, r.KoD, r.Lost, 100*r.LossFraction,
+		r.Sent, r.Received, r.KoD, r.KoDRate, r.Lost, 100*r.LossFraction,
 		r.Latency.P50Us, r.Latency.P99Us, r.Latency.MaxUs)
 }

@@ -1,0 +1,56 @@
+//go:build linux
+
+package ntpnet
+
+import (
+	"net"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// oobSpace sizes the per-worker ancillary buffer: one cmsg header
+// plus a Timespec, rounded up generously.
+const oobSpace = 64
+
+// rxTimestampsAvailable reports at build time whether the kernel can
+// attach receive timestamps to datagrams.
+const rxTimestampsAvailable = true
+
+// enableRxTimestamps asks the kernel to attach a nanosecond receive
+// timestamp (SCM_TIMESTAMPNS) to every datagram on conn. The stamp is
+// taken when the packet enters the socket queue, so a sojourn
+// measured against it includes the kernel queueing delay — exactly
+// the signal CoDel-style shedding needs. A userspace read-time stamp
+// cannot see the queue at all: under collapse the reads still take
+// microseconds each while the datagrams they drain are seconds old.
+func enableRxTimestamps(conn *net.UDPConn) error {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	if cerr := rc.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_TIMESTAMPNS, 1)
+	}); cerr != nil {
+		return cerr
+	}
+	return serr
+}
+
+// rxTimestamp extracts the kernel receive timestamp from the
+// ancillary data of one ReadMsgUDP.
+func rxTimestamp(oob []byte) (time.Time, bool) {
+	msgs, err := syscall.ParseSocketControlMessage(oob)
+	if err != nil {
+		return time.Time{}, false
+	}
+	for _, m := range msgs {
+		if m.Header.Level == syscall.SOL_SOCKET && m.Header.Type == syscall.SCM_TIMESTAMPNS &&
+			len(m.Data) >= int(unsafe.Sizeof(syscall.Timespec{})) {
+			ts := (*syscall.Timespec)(unsafe.Pointer(&m.Data[0]))
+			return time.Unix(ts.Sec, ts.Nsec), true
+		}
+	}
+	return time.Time{}, false
+}

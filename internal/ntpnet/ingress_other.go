@@ -1,0 +1,22 @@
+//go:build !linux
+
+package ntpnet
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+const oobSpace = 0
+
+const rxTimestampsAvailable = false
+
+var errNoRxTimestamps = errors.New("ntpnet: kernel receive timestamps unsupported on this platform")
+
+// enableRxTimestamps always fails here: without SCM_TIMESTAMPNS the
+// server falls back to stamping ingress at read time, which measures
+// handling latency but not kernel queue wait.
+func enableRxTimestamps(conn *net.UDPConn) error { return errNoRxTimestamps }
+
+func rxTimestamp(oob []byte) (time.Time, bool) { return time.Time{}, false }

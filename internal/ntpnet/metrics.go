@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"mntp/internal/overload"
 )
 
 // numLatencyBuckets is the bucket count of the latency histogram:
@@ -40,6 +42,15 @@ type Metrics struct {
 	Malformed atomic.Uint64
 	// WriteErrors counts replies the socket failed to send.
 	WriteErrors atomic.Uint64
+	// Shed counts new-flow requests refused with RATE by the
+	// admission controller while Degraded.
+	Shed atomic.Uint64
+	// ShedDropped counts datagrams dropped before parsing while
+	// Overloaded.
+	ShedDropped atomic.Uint64
+	// Panics counts worker goroutines that died to a handler panic
+	// and were respawned.
+	Panics atomic.Uint64
 
 	latency [numLatencyBuckets]atomic.Uint64
 }
@@ -60,6 +71,14 @@ func (m *Metrics) observeLatency(d time.Duration) {
 // atomic transaction, which is fine for monitoring).
 type Snapshot struct {
 	Served, Limited, Dropped, Malformed, WriteErrors uint64
+	// Shed / ShedDropped / Panics mirror the Metrics counters of the
+	// same names. Restarts counts watchdog-initiated worker-pool
+	// restarts (a server-level counter, set only on the aggregate
+	// snapshot). Health is the admission controller's state at
+	// snapshot time (Healthy when overload control is off or on
+	// per-shard snapshots).
+	Shed, ShedDropped, Panics, Restarts uint64
+	Health                              overload.State
 	// Latency holds the histogram counts; Latency[i] counts requests
 	// handled within LatencyBounds()[i], the last entry the overflow.
 	Latency [numLatencyBuckets]uint64
@@ -83,6 +102,13 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Dropped += o.Dropped
 	s.Malformed += o.Malformed
 	s.WriteErrors += o.WriteErrors
+	s.Shed += o.Shed
+	s.ShedDropped += o.ShedDropped
+	s.Panics += o.Panics
+	s.Restarts += o.Restarts
+	if o.Health > s.Health {
+		s.Health = o.Health // the merged view reports the worst state
+	}
 	for i := range s.Latency {
 		s.Latency[i] += o.Latency[i]
 	}
@@ -96,6 +122,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Dropped = m.Dropped.Load()
 	s.Malformed = m.Malformed.Load()
 	s.WriteErrors = m.WriteErrors.Load()
+	s.Shed = m.Shed.Load()
+	s.ShedDropped = m.ShedDropped.Load()
+	s.Panics = m.Panics.Load()
 	for i := range m.latency {
 		s.Latency[i] = m.latency[i].Load()
 	}
@@ -134,8 +163,9 @@ func (s Snapshot) LatencyQuantile(q float64) (time.Duration, bool) {
 // String renders a one-line summary for periodic logging.
 func (s Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "served=%d limited=%d dropped=%d malformed=%d write-errors=%d",
-		s.Served, s.Limited, s.Dropped, s.Malformed, s.WriteErrors)
+	fmt.Fprintf(&b, "served=%d limited=%d shed=%d shed-dropped=%d dropped=%d malformed=%d write-errors=%d panics=%d restarts=%d health=%s",
+		s.Served, s.Limited, s.Shed, s.ShedDropped, s.Dropped, s.Malformed,
+		s.WriteErrors, s.Panics, s.Restarts, s.Health)
 	if p50, ok := s.LatencyQuantile(0.50); ok {
 		p99, _ := s.LatencyQuantile(0.99)
 		fmt.Fprintf(&b, " latency p50≤%v p99≤%v", p50, p99)

@@ -110,6 +110,40 @@ func (rl *rateLimiter) evictLocked(now time.Time) {
 	}
 }
 
+// known reports whether the client currently holds per-IP state with
+// an unexpired window — "established" for admission control — without
+// mutating the table.
+func (rl *rateLimiter) known(key addrKey, now time.Time) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[key]
+	return b != nil && now.Sub(b.windowStart) < rl.window
+}
+
+// sweep drops every bucket whose window has expired. The serve path
+// only evicts when the table is full, so without sweeping a burst
+// that fills the table — a spoofed-source flood — would pin it at
+// MaxClients long after the flood ended, forcing the O(table)
+// full-table eviction scan onto every later legitimate new client.
+// The server's housekeeping loop calls this periodically.
+func (rl *rateLimiter) sweep(now time.Time) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	for k, b := range rl.buckets {
+		if now.Sub(b.windowStart) >= rl.window {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+// occupancy returns the table fill fraction (0..1), the overload
+// controller's table-pressure signal.
+func (rl *rateLimiter) occupancy() float64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return float64(len(rl.buckets)) / float64(rl.maxSize)
+}
+
 // size returns the current table population.
 func (rl *rateLimiter) size() int {
 	rl.mu.Lock()

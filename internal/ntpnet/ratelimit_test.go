@@ -42,6 +42,65 @@ func TestKeyFromIPMappedEquivalence(t *testing.T) {
 	}
 }
 
+// TestRateLimiterSweepExpiresIdleEntries pins the idle-entry sweep: a
+// burst that fills the table (a spoofed-source flood) must not leave
+// it pinned at capacity after the window passes — later legitimate
+// clients would pay the full-table eviction scan on every insert and
+// the flood's ghosts would hold all the per-IP state.
+func TestRateLimiterSweepExpiresIdleEntries(t *testing.T) {
+	const n = 64
+	window := time.Minute
+	rl := newRateLimiter(10, window, n)
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		rl.over(fillKey(i), t0)
+	}
+	if got := rl.size(); got != n {
+		t.Fatalf("table size after flood = %d, want %d", got, n)
+	}
+	if got := rl.occupancy(); got != 1.0 {
+		t.Fatalf("occupancy = %v, want 1.0", got)
+	}
+	if !rl.known(fillKey(3), t0.Add(window/2)) {
+		t.Error("entry not known inside its window")
+	}
+
+	// Mid-window sweep: nothing has expired, nothing may go.
+	rl.sweep(t0.Add(window / 2))
+	if got := rl.size(); got != n {
+		t.Errorf("size after mid-window sweep = %d, want %d", got, n)
+	}
+
+	// Past the window every entry is idle garbage: one sweep clears it.
+	rl.sweep(t0.Add(window))
+	if got := rl.size(); got != 0 {
+		t.Errorf("size after expiry sweep = %d, want 0", got)
+	}
+	if got := rl.occupancy(); got != 0 {
+		t.Errorf("occupancy after sweep = %v, want 0", got)
+	}
+	if rl.known(fillKey(3), t0.Add(window)) {
+		t.Error("expired entry still known")
+	}
+}
+
+// TestRateLimiterKnownRespectsWindow: an entry whose window has
+// lapsed no longer counts as established, even before a sweep runs.
+func TestRateLimiterKnownRespectsWindow(t *testing.T) {
+	rl := newRateLimiter(10, time.Minute, 16)
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	rl.over(fillKey(1), t0)
+	if !rl.known(fillKey(1), t0.Add(30*time.Second)) {
+		t.Error("fresh entry not known")
+	}
+	if rl.known(fillKey(1), t0.Add(2*time.Minute)) {
+		t.Error("lapsed entry still known")
+	}
+	if rl.known(fillKey(2), t0) {
+		t.Error("never-seen key reported known")
+	}
+}
+
 func fillKey(i int) addrKey {
 	var k addrKey
 	k[0] = 0x20 // native v6 space, disjoint from the mapped prefix

@@ -3,14 +3,17 @@ package ntpnet
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mntp/internal/clock"
 	"mntp/internal/ntppkt"
 	"mntp/internal/ntptime"
+	"mntp/internal/overload"
 )
 
 // Server is a UDP NTP server. It answers client (mode 3) requests with
@@ -26,9 +29,18 @@ import (
 // into the aggregate view. On platforms without SO_REUSEPORT (or when
 // the kernel refuses it) every shard serves one shared socket — the
 // worker pools and per-shard counters remain, only the kernel-level
-// queue spread is lost. The rate-limit table is shared across shards
-// (a client's budget is global, whichever queue its packets hash to)
-// and bounded (MaxClients) with window-stamped eviction.
+// queue spread is lost — unless RequireShards insists on the full
+// group. The rate-limit table is shared across shards (a client's
+// budget is global, whichever queue its packets hash to) and bounded
+// (MaxClients) with window-stamped eviction plus periodic idle-entry
+// sweeping.
+//
+// The server self-heals: every worker runs under a panic recovery
+// that counts the fault and respawns the worker, and a watchdog
+// restarts the worker pool of any shard holding work in flight
+// without completing it while its siblings make progress. With
+// Overload set, an admission controller sheds load before queueing
+// delay can poison the served timestamps (see package overload).
 type Server struct {
 	Clock   clock.Clock
 	Stratum uint8
@@ -48,11 +60,44 @@ type Server struct {
 	// via SO_REUSEPORT (default 1). All fields must be set before
 	// Listen.
 	Shards int
+	// RequireShards makes Listen fail when the full Shards-socket
+	// SO_REUSEPORT group cannot be bound — closing any sockets that
+	// did bind — instead of silently serving from fewer sockets than
+	// requested.
+	RequireShards bool
+	// Overload, if non-nil, enables admission control (package
+	// overload): in Degraded the server sheds new/unseen flows with
+	// RATE kiss-of-death replies (flows already holding rate-limit
+	// state keep their budget; with rate limiting off every flow
+	// counts as new), in Overloaded it drops datagrams before parsing,
+	// admitting 1-in-N probes. On Linux the sojourn signal uses kernel
+	// receive timestamps, so it includes socket-queue wait.
+	Overload *overload.Config
+	// WatchdogInterval is the housekeeping period: the watchdog scans
+	// for wedged shards, sweeps expired rate-limit entries and feeds
+	// slow signals to the overload controller. 0 selects the default
+	// (1s); negative disables housekeeping entirely.
+	WatchdogInterval time.Duration
+	// FaultHook, if non-nil, is called with the shard index for every
+	// admitted datagram, before parsing. It exists for server-side
+	// fault injection (ServerFaults): a hook that panics exercises
+	// worker respawn, one that blocks exercises the watchdog. A
+	// blocked hook must be released before Close, which waits for
+	// every worker.
+	FaultHook func(shard int)
 
-	conns   []*net.UDPConn
-	shards  []*shard
-	wg      sync.WaitGroup
-	limiter *rateLimiter
+	conns           []*net.UDPConn
+	shards          []*shard
+	workersPerShard int
+	ctrl            *overload.Controller
+	limiter         *rateLimiter
+	restarts        atomic.Uint64
+	stopHk          chan struct{}
+	hkWG            sync.WaitGroup
+	wg              sync.WaitGroup
+
+	mu     sync.Mutex // guards closed vs. worker spawning
+	closed bool
 }
 
 // shard is one slice of the serving fast path: a socket (exclusive
@@ -60,8 +105,22 @@ type Server struct {
 // workers count into. Shard-local counters keep the hot path free of
 // cross-shard cache-line bouncing; readers merge them on demand.
 type shard struct {
-	conn    *net.UDPConn
-	metrics Metrics
+	idx  int
+	conn *net.UDPConn
+	// rxts: kernel receive timestamps enabled on conn (overload only).
+	rxts bool
+	// epoch versions the worker pool: the watchdog bumps it to tell
+	// stuck workers (wherever they unblock) that a fresh complement
+	// has replaced them and they should exit.
+	epoch atomic.Uint64
+	// inFlight counts datagrams currently mid-handling; completed
+	// counts handled ones. Together they are the watchdog's progress
+	// signal: in-flight work held across a whole interval with no
+	// completions means the pool is wedged, not idle.
+	inFlight  atomic.Int64
+	completed atomic.Uint64
+	sample    atomic.Uint64
+	metrics   Metrics
 }
 
 // NewServer creates a server with the given clock and stratum.
@@ -82,13 +141,16 @@ func (s *Server) Listen(addr string) (*net.UDPAddr, error) {
 	if nshards <= 0 {
 		nshards = 1
 	}
-	conns, err := listenShards(addr, nshards)
+	conns, err := listenShards(addr, nshards, s.RequireShards)
 	if err != nil {
 		return nil, err
 	}
 	s.conns = conns
 	if s.RateLimit > 0 {
 		s.limiter = newRateLimiter(s.RateLimit, s.RateWindow, s.MaxClients)
+	}
+	if s.Overload != nil {
+		s.ctrl = overload.New(*s.Overload)
 	}
 	workers := s.Workers
 	if workers <= 0 {
@@ -97,30 +159,52 @@ func (s *Server) Listen(addr string) (*net.UDPAddr, error) {
 			workers = 1
 		}
 	}
+	s.workersPerShard = workers
 	s.shards = make([]*shard, nshards)
 	for i := range s.shards {
-		sh := &shard{conn: conns[i%len(conns)]}
-		s.shards[i] = sh
-		s.wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go s.serve(sh)
+		sh := &shard{idx: i, conn: conns[i%len(conns)]}
+		if s.ctrl != nil {
+			sh.rxts = enableRxTimestamps(sh.conn) == nil
 		}
+		s.shards[i] = sh
+		for w := 0; w < workers; w++ {
+			s.spawnWorker(sh, 0)
+		}
+	}
+	wd := s.WatchdogInterval
+	if wd == 0 {
+		wd = time.Second
+	}
+	if wd > 0 {
+		s.stopHk = make(chan struct{})
+		s.hkWG.Add(1)
+		go s.housekeep(wd)
 	}
 	return conns[0].LocalAddr().(*net.UDPAddr), nil
 }
 
-// listenShards binds n sockets to addr with SO_REUSEPORT, falling
-// back to a single plain socket when n == 1, the platform lacks the
-// option, or the kernel refuses it. With a wildcard port the first
-// bind picks it and the rest join that port.
-func listenShards(addr string, n int) ([]*net.UDPConn, error) {
+// listenShards binds n sockets to addr with SO_REUSEPORT. When the
+// full group cannot be bound (n == 1, the platform lacks the option,
+// or the kernel refuses it) the non-strict path falls back to a
+// single plain socket shared by every shard; the strict path closes
+// whatever partially bound and fails instead. With a wildcard port
+// the first bind picks it and the rest join that port.
+func listenShards(addr string, n int, strict bool) ([]*net.UDPConn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ntpnet: resolve %q: %w", addr, err)
 	}
-	if n > 1 && reusePortAvailable {
-		if conns, err := listenReusePort(ua, n); err == nil {
-			return conns, nil
+	if n > 1 {
+		if reusePortAvailable {
+			conns, err := listenReusePort(ua, n)
+			if err == nil {
+				return conns, nil
+			}
+			if strict {
+				return nil, fmt.Errorf("ntpnet: bind %d-shard REUSEPORT group on %q: %w", n, addr, err)
+			}
+		} else if strict {
+			return nil, fmt.Errorf("ntpnet: %d shards requested but SO_REUSEPORT is unavailable on this platform", n)
 		}
 	}
 	conn, err := net.ListenUDP("udp", ua)
@@ -153,12 +237,23 @@ func listenReusePort(ua *net.UDPAddr, n int) ([]*net.UDPConn, error) {
 
 // Close stops the server and waits for every serve goroutine to exit.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.stopHk != nil {
+		close(s.stopHk)
+	}
 	var first error
 	for _, c := range s.conns {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	s.hkWG.Wait()
 	s.wg.Wait()
 	return first
 }
@@ -170,6 +265,10 @@ func (s *Server) Snapshot() Snapshot {
 	var out Snapshot
 	for _, sh := range s.shards {
 		out.Merge(sh.metrics.Snapshot())
+	}
+	out.Restarts = s.restarts.Load()
+	if s.ctrl != nil {
+		out.Health = s.ctrl.State()
 	}
 	return out
 }
@@ -186,6 +285,15 @@ func (s *Server) ShardSnapshots() []Snapshot {
 
 // NumShards returns the number of serving shards (0 before Listen).
 func (s *Server) NumShards() int { return len(s.shards) }
+
+// Health returns the admission controller's state (Healthy when
+// overload control is off).
+func (s *Server) Health() overload.State {
+	if s.ctrl == nil {
+		return overload.Healthy
+	}
+	return s.ctrl.State()
+}
 
 // Served returns the number of requests answered across all shards.
 func (s *Server) Served() int {
@@ -214,68 +322,281 @@ func (s *Server) RateTableSize() int {
 	return s.limiter.size()
 }
 
+// spawnWorker starts one serve goroutine for sh's epoch-th pool,
+// unless the server has been closed (the check and the WaitGroup add
+// share the mutex Close takes, so a respawn can never race past
+// Close's final Wait).
+func (s *Server) spawnWorker(sh *shard, epoch uint64) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.serve(sh, epoch)
+}
+
 // serve is one worker of a shard's pool. Each worker owns its
 // buffers; *net.UDPConn reads and writes are safe for concurrent use.
-func (s *Server) serve(sh *shard) {
-	defer s.wg.Done()
+// A panic anywhere in handling is contained here: the fault is
+// counted and the worker respawned, so one poisoned packet (or bug)
+// costs a single request, never the server.
+func (s *Server) serve(sh *shard, epoch uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.metrics.Panics.Add(1)
+			// Respawn unless the watchdog has since rotated the pool —
+			// the new epoch already runs a full complement.
+			if sh.epoch.Load() == epoch {
+				s.spawnWorker(sh, epoch)
+			}
+		}
+		s.wg.Done()
+	}()
 	buf := make([]byte, 512)
 	out := make([]byte, 0, ntppkt.HeaderLen)
+	var oob []byte
+	if sh.rxts {
+		oob = make([]byte, oobSpace)
+	}
 	var req ntppkt.Packet
-	for {
-		n, peer, err := sh.conn.ReadFromUDP(buf)
+	for sh.epoch.Load() == epoch {
+		var (
+			n       int
+			peer    *net.UDPAddr
+			err     error
+			ingress time.Time
+		)
+		if sh.rxts {
+			var oobn int
+			n, oobn, _, peer, err = sh.conn.ReadMsgUDP(buf, oob)
+			if err == nil {
+				ingress, _ = rxTimestamp(oob[:oobn])
+			}
+		} else {
+			n, peer, err = sh.conn.ReadFromUDP(buf)
+		}
 		if err != nil {
 			return // closed
 		}
-		recv := s.Clock.Now()
-		if err := req.DecodeInto(buf[:n]); err != nil {
-			sh.metrics.Malformed.Add(1)
-			continue
+		out = s.handle(sh, buf[:n], peer, ingress, &req, out)
+	}
+}
+
+// sojournSampleMask: 1 in 8 handled datagrams feed the sojourn EWMA;
+// the other seven pay one atomic add.
+const sojournSampleMask = 7
+
+// observeSojourn feeds a sampled ingress-to-now sojourn into the
+// overload controller.
+func (s *Server) observeSojourn(sh *shard, ingress time.Time) {
+	if sh.sample.Add(1)&sojournSampleMask != 0 {
+		return
+	}
+	now := time.Now()
+	s.ctrl.Observe(now.Sub(ingress), now)
+}
+
+// handle processes one datagram. The in-flight/completed bookkeeping
+// brackets everything — including an injected panic, whose unwind
+// still runs the deferred decrement before serve's recovery respawns
+// the worker.
+func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.Time, req *ntppkt.Packet, out []byte) []byte {
+	sh.inFlight.Add(1)
+	defer func() {
+		sh.inFlight.Add(-1)
+		sh.completed.Add(1)
+	}()
+	if ingress.IsZero() {
+		// No kernel stamp: ingress degrades to read time, measuring
+		// handling latency but not socket-queue wait.
+		ingress = time.Now()
+	}
+	ctrl := s.ctrl
+	probe := false
+	if ctrl != nil && ctrl.State() == overload.Overloaded {
+		// Early drop before parsing: once the queue has collapsed the
+		// reply would carry a stale timestamp — worse for the client
+		// than silence — and dropping is the fastest way to drain the
+		// backlog. 1-in-N probes are admitted so sojourn samples keep
+		// flowing and recovery stays possible.
+		if probe = ctrl.ProbeAdmit(); !probe {
+			sh.metrics.ShedDropped.Add(1)
+			s.observeSojourn(sh, ingress)
+			return out
 		}
-		if req.Mode != ntppkt.ModeClient {
-			sh.metrics.Dropped.Add(1)
-			continue
-		}
-		version := req.Version
-		if version < ntppkt.Version3 || version > ntppkt.Version4 {
-			version = ntppkt.Version4
-		}
-		// The limiter runs on the server's clock, like every protocol
-		// timestamp: under a simulated or offset clock the windows
-		// must follow the clock that stamps the packets, not the
-		// wall.
-		if s.limiter != nil && s.limiter.over(keyFromIP(peer.IP), recv) {
-			kod := ntppkt.Packet{
-				Leap: ntppkt.LeapNotSync, Version: version, Mode: ntppkt.ModeServer,
-				Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissRate,
-				Origin: req.Transmit,
+	}
+	if s.FaultHook != nil {
+		s.FaultHook(sh.idx)
+	}
+	recv := s.Clock.Now()
+	if err := req.DecodeInto(pkt); err != nil {
+		sh.metrics.Malformed.Add(1)
+		return out
+	}
+	if req.Mode != ntppkt.ModeClient {
+		sh.metrics.Dropped.Add(1)
+		return out
+	}
+	version := req.Version
+	if version < ntppkt.Version3 || version > ntppkt.Version4 {
+		version = ntppkt.Version4
+	}
+	if ctrl != nil && !probe && ctrl.State() == overload.Degraded {
+		// Shed new/unseen flows first: clients already holding
+		// rate-limit state keep their budget, so the population being
+		// answered well stays stable while fresh arrivals are told
+		// RATE — loudly, not by silent drop. Flows that win the coin
+		// toss proceed, enter the table below, and become established.
+		established := s.limiter != nil && s.limiter.known(keyFromIP(peer.IP), recv)
+		if !established && rand.Float64() < ctrl.ShedProb() {
+			var ok bool
+			if out, ok = s.writeRate(sh, version, req, peer, out); ok {
+				sh.metrics.Shed.Add(1)
 			}
-			out = kod.Encode(out[:0])
-			if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
-				sh.metrics.WriteErrors.Add(1)
+			s.observeSojourn(sh, ingress)
+			return out
+		}
+	}
+	// The limiter runs on the server's clock, like every protocol
+	// timestamp: under a simulated or offset clock the windows
+	// must follow the clock that stamps the packets, not the
+	// wall.
+	if s.limiter != nil && s.limiter.over(keyFromIP(peer.IP), recv) {
+		var ok bool
+		if out, ok = s.writeRate(sh, version, req, peer, out); ok {
+			sh.metrics.Limited.Add(1)
+		}
+		return out
+	}
+	resp := ntppkt.Packet{
+		Leap:      ntppkt.LeapNone,
+		Version:   version,
+		Mode:      ntppkt.ModeServer,
+		Stratum:   s.Stratum,
+		Poll:      req.Poll,
+		Precision: -20,
+		RefID:     s.RefID,
+		RefTime:   ntptime.FromTime(recv.Add(-10 * time.Second)),
+		Origin:    req.Transmit,
+		Receive:   ntptime.FromTime(recv),
+		Transmit:  ntptime.FromTime(s.Clock.Now()),
+	}
+	out = resp.Encode(out[:0])
+	if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
+		sh.metrics.WriteErrors.Add(1)
+		return out
+	}
+	sh.metrics.observeLatency(s.Clock.Now().Sub(recv))
+	sh.metrics.Served.Add(1)
+	if ctrl != nil {
+		s.observeSojourn(sh, ingress)
+	}
+	return out
+}
+
+// writeRate sends a RATE kiss-of-death echoing the request's origin,
+// returning the reused buffer and whether the write succeeded (a
+// failure is counted in WriteErrors, not in the caller's counter).
+func (s *Server) writeRate(sh *shard, version uint8, req *ntppkt.Packet, peer *net.UDPAddr, out []byte) ([]byte, bool) {
+	kod := ntppkt.Packet{
+		Leap: ntppkt.LeapNotSync, Version: version, Mode: ntppkt.ModeServer,
+		Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissRate,
+		Origin: req.Transmit,
+	}
+	out = kod.Encode(out[:0])
+	if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
+		sh.metrics.WriteErrors.Add(1)
+		return out, false
+	}
+	return out, true
+}
+
+// housekeep is the watchdog/housekeeping loop: it restarts wedged
+// shard pools, sweeps expired rate-limit entries, and feeds the slow
+// signals (in-flight, write-error rate, table pressure) to the
+// overload controller.
+func (s *Server) housekeep(interval time.Duration) {
+	defer s.hkWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	prev := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		prev[i] = sh.completed.Load()
+	}
+	cooldown := make([]int, len(s.shards))
+	deltas := make([]uint64, len(s.shards))
+	var prevServed, prevWriteErr uint64
+	for {
+		select {
+		case <-s.stopHk:
+			return
+		case <-tick.C:
+		}
+		// Wedged-shard scan: a shard holding work in flight that
+		// completed nothing over a whole interval is stuck mid-handle
+		// (an idle shard holds nothing in flight). Only act when a
+		// sibling did make progress, so a globally quiet server is
+		// left alone; the cooldown stops a still-wedged shard from
+		// accreting a fresh pool every tick.
+		var maxDelta uint64
+		for i, sh := range s.shards {
+			cur := sh.completed.Load()
+			deltas[i] = cur - prev[i]
+			prev[i] = cur
+			if deltas[i] > maxDelta {
+				maxDelta = deltas[i]
+			}
+		}
+		var maxInFlight int64
+		for i, sh := range s.shards {
+			inf := sh.inFlight.Load()
+			if inf > maxInFlight {
+				maxInFlight = inf
+			}
+			if cooldown[i] > 0 {
+				cooldown[i]--
 				continue
 			}
-			sh.metrics.Limited.Add(1)
-			continue
+			if deltas[i] == 0 && inf > 0 && maxDelta > 0 {
+				s.restartShard(sh)
+				cooldown[i] = 2
+			}
 		}
-		resp := ntppkt.Packet{
-			Leap:      ntppkt.LeapNone,
-			Version:   version,
-			Mode:      ntppkt.ModeServer,
-			Stratum:   s.Stratum,
-			Poll:      req.Poll,
-			Precision: -20,
-			RefID:     s.RefID,
-			RefTime:   ntptime.FromTime(recv.Add(-10 * time.Second)),
-			Origin:    req.Transmit,
-			Receive:   ntptime.FromTime(recv),
-			Transmit:  ntptime.FromTime(s.Clock.Now()),
+		if s.limiter != nil {
+			s.limiter.sweep(s.Clock.Now())
 		}
-		out = resp.Encode(out[:0])
-		if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
-			sh.metrics.WriteErrors.Add(1)
-			continue
+		if s.ctrl != nil {
+			var occ float64
+			if s.limiter != nil {
+				occ = s.limiter.occupancy()
+			}
+			snap := s.Snapshot()
+			dServed := snap.Served - prevServed
+			dWE := snap.WriteErrors - prevWriteErr
+			prevServed, prevWriteErr = snap.Served, snap.WriteErrors
+			var weFrac float64
+			if dServed+dWE > 0 {
+				weFrac = float64(dWE) / float64(dServed+dWE)
+			}
+			s.ctrl.Evaluate(time.Now(), overload.Signals{
+				MaxShardInFlight: int(maxInFlight),
+				TableOccupancy:   occ,
+				WriteErrorFrac:   weFrac,
+			})
 		}
-		sh.metrics.observeLatency(s.Clock.Now().Sub(recv))
-		sh.metrics.Served.Add(1)
+	}
+}
+
+// restartShard rotates a wedged shard's worker pool: the epoch bump
+// tells the old workers — wherever they are stuck — to exit when they
+// next complete a datagram, and a fresh complement starts against the
+// same socket immediately.
+func (s *Server) restartShard(sh *shard) {
+	epoch := sh.epoch.Add(1)
+	s.restarts.Add(1)
+	for w := 0; w < s.workersPerShard; w++ {
+		s.spawnWorker(sh, epoch)
 	}
 }
