@@ -20,6 +20,7 @@ import (
 	"mntp/internal/sources"
 	"mntp/internal/stats"
 	"mntp/internal/testbed"
+	"mntp/internal/trend"
 	"mntp/internal/tuner"
 )
 
@@ -290,6 +291,34 @@ func BenchmarkMNTPFilterOffer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		x := time.Duration(i) * 5 * time.Second
 		f.Offer(x, time.Duration(i%7)*time.Millisecond)
+	}
+}
+
+// BenchmarkEstimatorFit compares the trend estimators' per-sample cost
+// (add one point to a full window, refit, read the line) across the
+// window sizes the filter realistically runs at. Theil-Sen is
+// O(window²) per refit and LAD is O(window · iterations), so this is
+// the number to watch before widening the default window.
+func BenchmarkEstimatorFit(b *testing.B) {
+	for _, kind := range trend.Kinds() {
+		for _, window := range []int{8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/window=%d", kind, window), func(b *testing.B) {
+				est := trend.NewEstimator(kind, window, 1e-3)
+				// Pre-fill so every measured Add works on a full window.
+				for i := 0; i < window; i++ {
+					est.Add(float64(i)*5, 10e-6*float64(i)*5+1e-3*float64(i%5))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x := float64(window+i) * 5
+					est.Add(x, 10e-6*x)
+					if _, err := est.Line(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

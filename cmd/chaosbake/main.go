@@ -1,0 +1,22 @@
+// Command chaosbake runs the estimator bake-off: every chaos scenario
+// under each trend estimator (least squares, Theil-Sen, LAD), printing
+// the per-scenario final-accuracy table in the markdown form DESIGN.md
+// records. Deterministic — scenarios run in virtual time from fixed
+// seeds — so the output is stable across machines.
+package main
+
+import (
+	"fmt"
+
+	"mntp/internal/chaos"
+)
+
+func main() {
+	cells := chaos.BakeOff()
+	fmt.Print(chaos.BakeOffTable(cells))
+	for _, c := range cells {
+		for _, v := range c.Violations {
+			fmt.Printf("VIOLATION %s/%s: %s\n", c.Scenario, c.Estimator, v)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"mntp/internal/sntp"
 	"mntp/internal/sources"
 	"mntp/internal/testbed"
+	"mntp/internal/trend"
 )
 
 func main() {
@@ -56,7 +57,15 @@ func main() {
 	stepThreshold := flag.Duration("step-threshold", 128*time.Millisecond, "offset beyond which the clock is stepped rather than slewed")
 	panicThreshold := flag.Duration("panic-threshold", 10*time.Second, "offset beyond which a correction is refused once synchronized (negative disables)")
 	holdoverMax := flag.Duration("holdover-max", time.Hour, "how long holdover retains the sync state during a blackout")
+	estimator := flag.String("estimator", "lsq", "trend estimator for the offset filter: lsq, theilsen or lad")
+	estimatorWindow := flag.Int("estimator-window", 0, "sample window for the robust estimators (0: default, 32)")
 	flag.Parse()
+
+	kind, err := trend.ParseKind(*estimator)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 
 	params := core.DefaultParams(testbed.PoolName)
 	params.WarmupPeriod = *warmup
@@ -66,6 +75,8 @@ func main() {
 	params.StepThreshold = *stepThreshold
 	params.PanicThreshold = *panicThreshold
 	params.HoldoverMax = *holdoverMax
+	params.Estimator = kind
+	params.EstimatorWindow = *estimatorWindow
 
 	switch *transport {
 	case "sim":

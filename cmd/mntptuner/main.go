@@ -8,7 +8,7 @@
 //
 //	mntptuner collect [-out trace.json] [-duration 4h] [-seed 53]
 //	mntptuner table2  [-trace trace.json]
-//	mntptuner search  [-trace trace.json] [-warmup 30,60,120] [-warmup-wait 0.25,1] [-regular-wait 15,30] [-reset 240]
+//	mntptuner search  [-trace trace.json] [-warmup 30,60,120] [-warmup-wait 0.25,1] [-regular-wait 15,30] [-reset 240] [-estimators lsq,theilsen,lad]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 
 	"mntp/internal/report"
 	"mntp/internal/testbed"
+	"mntp/internal/trend"
 	"mntp/internal/tuner"
 )
 
@@ -120,6 +121,7 @@ func search(args []string) {
 	warmupWait := fs.String("warmup-wait", "0.25,1,5", "warmupWaitTime values (minutes)")
 	regularWait := fs.String("regular-wait", "15,30", "regularWaitTime values (minutes)")
 	reset := fs.String("reset", "240", "resetPeriod values (minutes)")
+	estimators := fs.String("estimators", "lsq", "comma-separated trend estimators to search (lsq,theilsen,lad)")
 	top := fs.Int("top", 10, "show the best N configurations")
 	fs.Parse(args)
 	tr := loadTrace(*trace)
@@ -129,18 +131,32 @@ func search(args []string) {
 		WarmupWaitMin:  parseFloats(*warmupWait),
 		RegularWaitMin: parseFloats(*regularWait),
 		ResetMin:       parseFloats(*reset),
+		Estimators:     parseKinds(*estimators),
 	})
 	if *top > len(results) {
 		*top = len(results)
 	}
 	t := report.NewTable("Rank", "warmup(min)", "warmupWait(min)", "regularWait(min)",
-		"reset(min)", "RMSE(ms)", "Requests")
+		"reset(min)", "estimator", "RMSE(ms)", "Requests")
 	for i := 0; i < *top; i++ {
 		r := results[i]
 		t.AddRow(i+1,
 			r.Params.WarmupPeriod.Minutes(), r.Params.WarmupWaitTime.Minutes(),
 			r.Params.RegularWaitTime.Minutes(), r.Params.ResetPeriod.Minutes(),
-			r.RMSE, r.Requests)
+			string(r.Params.Estimator), r.RMSE, r.Requests)
 	}
 	fmt.Println(t.String())
+}
+
+func parseKinds(s string) []trend.Kind {
+	var out []trend.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := trend.ParseKind(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, k)
+	}
+	return out
 }

@@ -30,6 +30,7 @@ import (
 	"mntp/internal/netsim"
 	"mntp/internal/ntpnet"
 	"mntp/internal/sysclock"
+	"mntp/internal/trend"
 	"mntp/internal/wireless"
 )
 
@@ -253,6 +254,10 @@ type Scenario struct {
 	// Clock configures the client oscillator (default: 30 ppm skew,
 	// 150 ms initial offset).
 	Clock clock.Config
+	// Estimator selects the filter's trend estimator for the run
+	// (empty means the paper's least squares). The bake-off runs every
+	// scenario under each trend.Kinds() entry.
+	Estimator trend.Kind
 	// Tune, if non-nil, adjusts the base parameters.
 	Tune func(*core.Params)
 	// Script schedules the faults. It runs before the simulation
@@ -383,6 +388,7 @@ func Run(sc Scenario) *Report {
 		sc.Clock = clock.Config{SkewPPM: 30, InitialOffset: 150 * time.Millisecond, Seed: sc.Seed}
 	}
 	params := BaseParams()
+	params.Estimator = sc.Estimator
 	if sc.Tune != nil {
 		sc.Tune(&params)
 	}

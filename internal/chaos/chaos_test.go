@@ -5,25 +5,34 @@ import (
 	"time"
 
 	"mntp/internal/netsim"
+	"mntp/internal/trend"
 )
 
-// TestScenarios runs every named chaos scenario and enforces both the
-// universal invariant (no step beyond the panic threshold after
-// warm-up, outside explicitly allowed recovery windows) and each
-// scenario's own acceptance checks. Virtual time keeps the whole
-// suite cheap enough for CI under -race.
+// TestScenarios runs every named chaos scenario under each trend
+// estimator (the ISSUE's bake-off: least squares, Theil-Sen, LAD) and
+// enforces both the universal invariant (no step beyond the panic
+// threshold after warm-up, outside explicitly allowed recovery
+// windows) and each scenario's own acceptance checks — including the
+// ≤ 25 ms re-convergence bound — for every combination. Virtual time
+// keeps the whole 7×3 grid cheap enough for CI under -race.
 func TestScenarios(t *testing.T) {
-	for _, sc := range Scenarios() {
-		sc := sc
-		t.Run(sc.Name, func(t *testing.T) {
-			t.Parallel()
-			r := Run(sc)
-			for _, v := range r.Violations() {
-				t.Error(v)
-			}
-			if t.Failed() {
-				t.Logf("final offset %v, state %s, events %v, %d steps",
-					r.Final, r.FinalState, r.Counts, len(r.Steps))
+	for _, kind := range trend.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			for _, sc := range Scenarios() {
+				sc := sc
+				sc.Estimator = kind
+				t.Run(sc.Name, func(t *testing.T) {
+					t.Parallel()
+					r := Run(sc)
+					for _, v := range r.Violations() {
+						t.Error(v)
+					}
+					if t.Failed() {
+						t.Logf("final offset %v, state %s, events %v, %d steps",
+							r.Final, r.FinalState, r.Counts, len(r.Steps))
+					}
+				})
 			}
 		})
 	}

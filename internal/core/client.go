@@ -13,6 +13,7 @@ import (
 	"mntp/internal/ntppkt"
 	"mntp/internal/sources"
 	"mntp/internal/sysclock"
+	"mntp/internal/trend"
 )
 
 // Params are MNTP's tunables: the four timing parameters of
@@ -46,6 +47,15 @@ type Params struct {
 	// unconditionally before gating (default 3; the paper records 10
 	// warm-up offsets before trusting the trend).
 	MinTrendSamples int
+	// Estimator selects the trend estimator the filter fits offsets
+	// against: trend.KindLeastSquares (the paper's §4.2 fit, the
+	// default), trend.KindTheilSen or trend.KindLAD (the robust
+	// alternatives — see internal/trend and the DESIGN.md bake-off).
+	Estimator trend.Kind
+	// EstimatorWindow bounds the robust estimators' sample history
+	// (default trend.DefaultWindow; least squares is unbounded and
+	// ignores it).
+	EstimatorWindow int
 	// Parallelism bounds the warm-up fan-out concurrency through the
 	// source pool. The default 1 queries serially in slot order,
 	// which is required when the transport is bound to a virtual-time
@@ -139,6 +149,12 @@ func (p *Params) applyDefaults() {
 	}
 	if p.MinTrendSamples == 0 {
 		p.MinTrendSamples = 3
+	}
+	if p.Estimator == "" {
+		p.Estimator = trend.KindLeastSquares
+	}
+	if p.EstimatorWindow == 0 {
+		p.EstimatorWindow = trend.DefaultWindow
 	}
 	if (p.Thresholds == hints.Thresholds{}) {
 		p.Thresholds = hints.Default()
@@ -446,7 +462,7 @@ func (c *Client) runCycle(total time.Duration) {
 	p := &c.Params
 
 	// Step 1–3: fresh state.
-	c.filter = NewFilter(p.ResidualFloor, p.MinTrendSamples)
+	c.filter = NewFilterKind(p.Estimator, p.EstimatorWindow, p.ResidualFloor, p.MinTrendSamples)
 	c.minDelay, c.haveMinDelay = 0, false
 	startRequests := c.requests
 	c.cycle = CycleStats{}
@@ -520,6 +536,7 @@ func (c *Client) runCycle(total time.Duration) {
 		if c.cycleN > 0 {
 			st.ResidRMSE = sqrtMs(c.cycleSq / float64(c.cycleN))
 		}
+		st.GateFallbacks = c.filter.VarianceFallbacks()
 		c.Params = c.Tuner.Adjust(st, c.Params)
 		c.Params.applyDefaults()
 	}
@@ -800,7 +817,7 @@ func (c *Client) offer(phase Phase, offset time.Duration, h hints.Hints, update 
 	if c.Params.DisableFilter {
 		accepted = true
 		// Still feed the trend so drift estimation works.
-		c.filter.fitter.Add(elapsed.Seconds(), offset.Seconds())
+		c.filter.est.Add(elapsed.Seconds(), offset.Seconds())
 	} else {
 		accepted, pred, predOK = c.filter.Offer(elapsed, offset)
 	}

@@ -21,12 +21,14 @@ import (
 	"mntp/internal/trend"
 )
 
-// Filter is MNTP's offset-filtering state: the least-squares trend
-// line over accepted (elapsed, offset) samples and the residual gate.
-// Per the paper's §5.3 refinement, the drift estimate is refit with
-// every accepted sample.
+// Filter is MNTP's offset-filtering state: a trend line over accepted
+// (elapsed, offset) samples and the residual gate. Per the paper's
+// §5.3 refinement, the drift estimate is refit with every accepted
+// sample. The trend estimator is pluggable (Params.Estimator): the
+// paper's least-squares fit, or the robust Theil-Sen/LAD alternatives
+// the chaos harness bakes off (see internal/trend and DESIGN.md).
 type Filter struct {
-	fitter    trend.Fitter
+	est       trend.Estimator
 	residuals *trend.ResidualTracker
 	// minSamples is how many samples are accepted unconditionally
 	// before the gate engages (a line needs ≥ 2 points; the paper
@@ -35,26 +37,54 @@ type Filter struct {
 	// floor is the minimum tolerated absolute prediction error in
 	// seconds.
 	floor float64
+	// varFallbacks counts gate decisions taken under the bounded
+	// default gate because the estimator could not produce a
+	// prediction variance (persistent trend.ErrInsufficient, e.g.
+	// all-identical elapsed times after a suspend). Previously that
+	// failure was swallowed and the residual gate ran unguarded.
+	varFallbacks int
 }
 
-// NewFilter creates a filter. floor is the minimum tolerated
-// prediction error (the gate never rejects samples within ±floor of
-// the trend line); minSamples is the number of initial samples
-// accepted unconditionally (default 3 when ≤ 0).
+// fallbackGateMult sizes the bounded default gate used when the
+// estimator cannot produce a prediction variance: |error| ≤ 3·floor,
+// mirroring the 3σ+floor bound of the variance-informed second-chance
+// gate with σ collapsed to the floor.
+const fallbackGateMult = 3
+
+// NewFilter creates a filter around the paper's least-squares
+// estimator. floor is the minimum tolerated prediction error (the
+// gate never rejects samples within ±floor of the trend line);
+// minSamples is the number of initial samples accepted
+// unconditionally (default 3 when ≤ 0).
 func NewFilter(floor time.Duration, minSamples int) *Filter {
+	return NewFilterKind(trend.KindLeastSquares, 0, floor, minSamples)
+}
+
+// NewFilterKind creates a filter around the given trend estimator.
+// window bounds the robust estimators' sample history (≤ 0 selects
+// trend.DefaultWindow; least squares ignores it). The floor doubles
+// as the robust estimators' residual scale floor.
+func NewFilterKind(kind trend.Kind, window int, floor time.Duration, minSamples int) *Filter {
 	if minSamples <= 0 {
 		minSamples = 3
 	}
 	f := floor.Seconds()
 	return &Filter{
+		est:        trend.NewEstimator(kind, window, f),
 		residuals:  trend.NewResidualTracker(f*f, 0),
 		minSamples: minSamples,
 		floor:      f,
 	}
 }
 
-// N returns the number of accepted samples.
-func (f *Filter) N() int { return f.fitter.N() }
+// N returns the number of samples contributing to the trend (for
+// windowed estimators, the window occupancy).
+func (f *Filter) N() int { return f.est.N() }
+
+// VarianceFallbacks returns how many gate decisions were taken under
+// the bounded default gate because the estimator had no prediction
+// variance to offer.
+func (f *Filter) VarianceFallbacks() int { return f.varFallbacks }
 
 // Offer presents a sample at the given elapsed time. It returns
 // whether the sample was accepted (and absorbed into the trend) and
@@ -64,10 +94,10 @@ func (f *Filter) Offer(elapsed time.Duration, offset time.Duration) (accepted bo
 	x := elapsed.Seconds()
 	y := offset.Seconds()
 
-	line, err := f.fitter.Line()
-	if err != nil || f.fitter.N() < f.minSamples {
+	line, err := f.est.Line()
+	if err != nil || f.est.N() < f.minSamples {
 		// Not enough history to predict: accept unconditionally.
-		f.fitter.Add(x, y)
+		f.est.Add(x, y)
 		if err == nil {
 			pred := line.At(x)
 			e := y - pred
@@ -87,17 +117,27 @@ func (f *Filter) Offer(elapsed time.Duration, offset time.Duration) (accepted bo
 		// sparse regular phase extrapolating far beyond the warm-up
 		// data does not reject everything — the over-conservative
 		// failure mode the paper diagnosed in §5.3.
-		if pv, err := f.fitter.PredictVariance(x); err == nil {
-			bound := 3*math.Sqrt(pv) + f.floor
-			if e <= bound && e >= -bound {
-				admit = true
-			}
+		var bound float64
+		if pv, err := f.est.PredictVariance(x); err == nil {
+			bound = 3*math.Sqrt(pv) + f.floor
+		} else {
+			// The estimator has no variance to offer (persistent
+			// trend.ErrInsufficient — e.g. every sample at the same
+			// elapsed time after a suspend). Fall back to an explicit
+			// bounded default gate instead of silently skipping the
+			// second chance, and count the fallback so the condition
+			// is observable (CycleStats.GateFallbacks).
+			bound = fallbackGateMult * f.floor
+			f.varFallbacks++
+		}
+		if e <= bound && e >= -bound {
+			admit = true
 		}
 	}
 	if !admit {
 		return false, secToDur(pred), true
 	}
-	f.fitter.Add(x, y)
+	f.est.Add(x, y)
 	f.residuals.Accept(sq)
 	return true, secToDur(pred), true
 }
@@ -106,7 +146,7 @@ func (f *Filter) Offer(elapsed time.Duration, offset time.Duration) (accepted bo
 // seconds of offset per second of elapsed time) and whether enough
 // samples exist to estimate it.
 func (f *Filter) Drift() (float64, bool) {
-	line, err := f.fitter.Line()
+	line, err := f.est.Line()
 	if err != nil {
 		return 0, false
 	}
@@ -116,11 +156,11 @@ func (f *Filter) Drift() (float64, bool) {
 // DriftWithError returns the drift estimate together with its
 // standard error (both in seconds per second).
 func (f *Filter) DriftWithError() (drift, stdErr float64, ok bool) {
-	line, err := f.fitter.Line()
+	line, err := f.est.Line()
 	if err != nil {
 		return 0, 0, false
 	}
-	v, err := f.fitter.SlopeVariance()
+	v, err := f.est.SlopeVariance()
 	if err != nil {
 		return 0, 0, false
 	}
@@ -130,7 +170,7 @@ func (f *Filter) DriftWithError() (drift, stdErr float64, ok bool) {
 // Predict returns the trend line's offset prediction at the given
 // elapsed time.
 func (f *Filter) Predict(elapsed time.Duration) (time.Duration, bool) {
-	line, err := f.fitter.Line()
+	line, err := f.est.Line()
 	if err != nil {
 		return 0, false
 	}
@@ -140,7 +180,7 @@ func (f *Filter) Predict(elapsed time.Duration) (time.Duration, bool) {
 // ApplyStep re-expresses the accepted history against a clock that
 // was just stepped by step: all recorded offsets shrink by step.
 func (f *Filter) ApplyStep(step time.Duration) {
-	f.fitter.SubtractLine(step.Seconds(), 0)
+	f.est.SubtractLine(step.Seconds(), 0)
 }
 
 // ApplyFreq re-expresses the history against a clock whose frequency
@@ -148,7 +188,7 @@ func (f *Filter) ApplyStep(step time.Duration) {
 // recorded trend loses the component df·(x − x0).
 func (f *Filter) ApplyFreq(df float64, x0 time.Duration) {
 	x := x0.Seconds()
-	f.fitter.SubtractLine(-df*x, df)
+	f.est.SubtractLine(-df*x, df)
 }
 
 func secToDur(s float64) time.Duration {

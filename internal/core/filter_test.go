@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mntp/internal/exchange"
+	"mntp/internal/trend"
 )
 
 func ms(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
@@ -231,5 +232,63 @@ func TestDriftErrorLargeForScatteredFewSamples(t *testing.T) {
 	}
 	if se < 25e-6 {
 		t.Errorf("stderr = %v ppm, want large for scattered points", se*1e6)
+	}
+}
+
+func TestFilterFallbackGateWhenVarianceUnavailable(t *testing.T) {
+	// Two samples at distinct elapsed times define a line but give the
+	// estimator no residual degrees of freedom, so PredictVariance
+	// returns trend.ErrInsufficient. The second-chance gate must then
+	// use the explicit bounded default (|error| ≤ 3·floor) and count
+	// the fallback, rather than silently skipping the second chance.
+	f := NewFilter(ms(3), 2)
+	f.Offer(0, 0)
+	f.Offer(5*time.Second, 0)
+
+	// 5 ms error: squared 25e-6 exceeds the residual gate's floored
+	// mean (9e-6), but |5 ms| ≤ 3·3 ms, so the fallback admits it.
+	acc, _, _ := f.Offer(10*time.Second, ms(5))
+	if !acc {
+		t.Fatalf("5 ms offer should pass the 3·floor fallback gate")
+	}
+	if got := f.VarianceFallbacks(); got != 1 {
+		t.Errorf("VarianceFallbacks = %d, want 1", got)
+	}
+
+	// A fresh filter in the same state must still reject an offer far
+	// outside the bounded default: the fallback is a gate, not a pass.
+	g := NewFilter(ms(3), 2)
+	g.Offer(0, 0)
+	g.Offer(5*time.Second, 0)
+	acc, _, _ = g.Offer(10*time.Second, ms(80))
+	if acc {
+		t.Fatalf("80 ms offer must stay rejected under the fallback gate")
+	}
+	if got := g.VarianceFallbacks(); got != 1 {
+		t.Errorf("VarianceFallbacks = %d, want 1", got)
+	}
+}
+
+func TestFilterKindRobustRejectsSpike(t *testing.T) {
+	// The Theil-Sen and LAD-backed filters must behave like the
+	// least-squares one on the basic contract: track a drifting clock,
+	// reject a gross spike, keep predicting.
+	for _, kind := range []trend.Kind{trend.KindTheilSen, trend.KindLAD} {
+		f := NewFilterKind(kind, 32, ms(3), 3)
+		const drift = 10e-6
+		for i := 0; i < 20; i++ {
+			el := time.Duration(i) * 10 * time.Second
+			off := time.Duration(drift * float64(el))
+			if acc, _, _ := f.Offer(el, off); !acc {
+				t.Fatalf("%s: on-trend sample %d rejected", kind, i)
+			}
+		}
+		if acc, _, _ := f.Offer(200*time.Second, ms(200)); acc {
+			t.Errorf("%s: 200 ms spike accepted", kind)
+		}
+		d, ok := f.Drift()
+		if !ok || d < 5e-6 || d > 15e-6 {
+			t.Errorf("%s: drift = %v ok=%v, want ≈10 ppm", kind, d, ok)
+		}
 	}
 }

@@ -14,6 +14,10 @@ type CycleStats struct {
 	// refused (EventAdjustError); PanicSteps counts corrections the
 	// discipline's panic gate refused (EventPanicStep).
 	AdjustErrors, PanicSteps int
+	// GateFallbacks counts filter decisions taken under the bounded
+	// default gate because the trend estimator could not produce a
+	// prediction variance (Filter.VarianceFallbacks at cycle end).
+	GateFallbacks int
 	// Requests is the number of SNTP requests emitted this cycle.
 	Requests int
 	// ResidRMSE is the RMSE (ms) of accepted offsets' deviations from

@@ -10,6 +10,7 @@ import (
 	"mntp/internal/ntppkt"
 	"mntp/internal/sources"
 	"mntp/internal/sysclock"
+	"mntp/internal/trend"
 )
 
 // Config parameterizes the full NTP client.
@@ -35,6 +36,13 @@ type Config struct {
 	// second), like ntpd's drift file: a host that has run NTP before
 	// starts with its oscillator error mostly pre-compensated.
 	InitialFreq float64
+	// DriftEstimator selects the trend estimator behind
+	// DriftEstimate, the client's observability-only residual-drift
+	// readout (empty means least squares; see internal/trend).
+	DriftEstimator trend.Kind
+	// DriftWindow bounds the drift estimator's sample history
+	// (default trend.DefaultWindow for the robust estimators).
+	DriftWindow int
 }
 
 func (c *Config) applyDefaults() {
@@ -98,7 +106,18 @@ type Client struct {
 	pollExp  int     // current poll interval = MinPoll << pollExp
 	lastTime time.Time
 	haveLast bool
+	// drift fits combined offsets against elapsed time for the
+	// DriftEstimate readout: residual drift the PLL has not yet
+	// absorbed. Observability only — it never gates a correction.
+	drift      trend.Estimator
+	driftEpoch time.Time
+	haveDrift  bool
 }
+
+// driftScaleFloor is the drift estimator's residual scale floor in
+// seconds (1 ms — below typical wired-path jitter, so the robust
+// estimators never mistake clean history for an all-outlier window).
+const driftScaleFloor = 1e-3
 
 // New creates a client with defaults applied.
 func New(clk clock.Adjustable, tr exchange.Transport, cfg Config) *Client {
@@ -112,6 +131,7 @@ func New(clk clock.Adjustable, tr exchange.Transport, cfg Config) *Client {
 			KoDBaseHold: demobilizePeriod,
 		}),
 	}
+	c.drift = trend.NewEstimator(cfg.DriftEstimator, cfg.DriftWindow, driftScaleFloor)
 	c.disc = discipline.New(sysclock.SimAdjuster{Clock: clk}, discipline.Config{
 		StepThreshold:  cfg.StepThreshold,
 		PanicThreshold: cfg.PanicThreshold,
@@ -236,12 +256,23 @@ func (c *Client) discipline(offset time.Duration, u *Update) {
 		// peer filters (their offsets were measured against the
 		// pre-step clock); ntpd likewise clears its registers.
 		c.haveLast = false
+		c.drift = trend.NewEstimator(c.Config.DriftEstimator, c.Config.DriftWindow, driftScaleFloor)
+		c.haveDrift = false
 		for _, pf := range c.peers {
 			*pf = peerFilter{}
 		}
 		u.Applied, u.Stepped = true, true
 		return
 	}
+	// Record the measured offset for the drift readout before the
+	// correction lands, then re-express the history against the
+	// adjusted clock (same bookkeeping as the peer filters below).
+	if !c.haveDrift {
+		c.driftEpoch = now
+		c.haveDrift = true
+	}
+	c.drift.Add(now.Sub(c.driftEpoch).Seconds(), offset.Seconds())
+	c.drift.SubtractLine(res.Applied.Seconds(), 0)
 	// Slewed: half the measured offset was applied immediately (the
 	// remainder is absorbed by subsequent rounds, emulating ntpd's
 	// gradual slew without sub-second simulation ticks). The filter
@@ -261,8 +292,16 @@ func (c *Client) discipline(offset time.Duration, u *Update) {
 			if tc < 64 {
 				tc = 64
 			}
+			prev := c.freq
 			c.freq += offset.Seconds() * dt / (4 * tc * tc)
 			c.freq, _ = c.disc.SetFreq(c.freq)
+			// A frequency trim of df at elapsed x0 removes df·(x − x0)
+			// from future measured offsets; re-express the drift
+			// history the same way so its slope stays the residual.
+			if df := c.freq - prev; df != 0 {
+				x0 := now.Sub(c.driftEpoch).Seconds()
+				c.drift.SubtractLine(-df*x0, df)
+			}
 		}
 	}
 	c.lastTime = now
@@ -302,6 +341,18 @@ func (c *Client) adaptPoll(offset time.Duration, surv []Candidate) {
 // FreqCorrection returns the accumulated frequency correction (for
 // observability in experiments).
 func (c *Client) FreqCorrection() float64 { return c.freq }
+
+// DriftEstimate returns the residual drift (seconds of offset per
+// second of elapsed time) the configured trend estimator sees in the
+// combined offsets the discipline has not yet absorbed, and whether
+// enough post-step history exists to fit it. Observability only.
+func (c *Client) DriftEstimate() (float64, bool) {
+	line, err := c.drift.Line()
+	if err != nil {
+		return 0, false
+	}
+	return line.Slope, true
+}
 
 // Sleeper is the waiting abstraction (satisfied by netsim.Proc and
 // sntp.WallSleeper).

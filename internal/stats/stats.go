@@ -24,7 +24,7 @@ func Mean(xs []float64) float64 {
 }
 
 // Variance returns the population variance of xs (divides by n), or 0
-// for fewer than one element. The MNTP filter uses population variance,
+// for an empty slice. The MNTP filter uses population variance,
 // matching numpy's default used by the paper's Python prototype.
 func Variance(xs []float64) float64 {
 	n := len(xs)
@@ -97,37 +97,53 @@ func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
 // Quantile returns the q-th quantile of xs (0 ≤ q ≤ 1) using linear
 // interpolation between order statistics (type-7, the numpy default).
-// Returns 0 for an empty slice. xs is not modified.
+// NaN samples are dropped — a degenerate zero-delay exchange can
+// produce one, and sort.Float64s would otherwise park it at the front
+// and shift every order statistic. ±Inf are kept as legitimate
+// extreme order statistics. Returns 0 for an empty (or all-NaN)
+// slice. xs is not modified.
 func Quantile(xs []float64, q float64) float64 {
-	n := len(xs)
-	if n == 0 {
+	sorted := sortedFinite(xs)
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := make([]float64, n)
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	return quantileSorted(sorted, q)
 }
 
-// QuantilesSorted computes multiple quantiles from a single sort of xs.
-// xs is not modified.
+// Quantiles computes multiple quantiles from a single sort of xs,
+// with the same NaN handling as Quantile. xs is not modified.
 func Quantiles(xs []float64, qs ...float64) []float64 {
 	out := make([]float64, len(qs))
-	n := len(xs)
-	if n == 0 {
+	sorted := sortedFinite(xs)
+	if len(sorted) == 0 {
 		return out
 	}
-	sorted := make([]float64, n)
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	for i, q := range qs {
 		out[i] = quantileSorted(sorted, q)
 	}
 	return out
 }
 
+// sortedFinite returns a sorted copy of xs with NaNs dropped.
+func sortedFinite(xs []float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	return sorted
+}
+
+// quantileSorted interpolates an order statistic from a sorted,
+// NaN-free, non-empty sample. A NaN q is treated as the median rather
+// than producing a platform-dependent index.
 func quantileSorted(sorted []float64, q float64) float64 {
 	n := len(sorted)
+	if math.IsNaN(q) {
+		q = 0.5
+	}
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -308,18 +324,26 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
 }
 
-// Add counts x into its bin.
+// Add counts x into its bin. A NaN sample is dropped (the previous
+// straight float→int conversion of a NaN is platform-dependent in Go:
+// the result is unspecified, so the count could land in any bin);
+// ±Inf clamp to the first/last bin like any other out-of-range value.
 func (h *Histogram) Add(x float64) {
 	n := len(h.Counts)
-	if n == 0 {
+	if n == 0 || math.IsNaN(x) {
 		return
 	}
-	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
-	if i < 0 {
+	pos := float64(n) * (x - h.Lo) / (h.Hi - h.Lo)
+	var i int
+	switch {
+	case math.IsNaN(pos): // degenerate Lo==Hi range with x==Lo
+		return
+	case pos < 0: // includes -Inf
 		i = 0
-	}
-	if i >= n {
+	case pos >= float64(n): // includes +Inf
 		i = n - 1
+	default:
+		i = int(pos)
 	}
 	h.Counts[i]++
 }

@@ -230,3 +230,61 @@ func TestQuickQuantileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHistogramNaNInfGuards pins the numerical-robustness fix: NaN
+// samples are dropped instead of converting to a platform-dependent
+// bin index, ±Inf clamp to the edge bins.
+func TestHistogramNaNInfGuards(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	if h.Total() != 0 {
+		t.Errorf("NaN sample counted: %v", h.Counts)
+	}
+	h.Add(math.Inf(1))
+	if h.Counts[4] != 1 {
+		t.Errorf("+Inf not clamped to last bin: %v", h.Counts)
+	}
+	h.Add(math.Inf(-1))
+	if h.Counts[0] != 1 {
+		t.Errorf("-Inf not clamped to first bin: %v", h.Counts)
+	}
+	h.Add(3)
+	if h.Counts[1] != 1 || h.Total() != 3 {
+		t.Errorf("finite sample misbinned: %v", h.Counts)
+	}
+	// Degenerate zero-width range: x==Lo gives pos=NaN; must not panic
+	// or count.
+	d := NewHistogram(5, 5, 3)
+	d.Add(5)
+	d.Add(7) // +Inf pos clamps to the last bin
+	if d.Counts[2] != 1 || d.Total() != 1 {
+		t.Errorf("degenerate-range histogram: %v", d.Counts)
+	}
+}
+
+// TestQuantileDropsNaN: NaN samples must not shift the order
+// statistics (sort.Float64s parks NaNs at the front).
+func TestQuantileDropsNaN(t *testing.T) {
+	clean := []float64{1, 2, 3, 4, 5}
+	dirty := []float64{math.NaN(), 1, 2, math.NaN(), 3, 4, 5}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got, want := Quantile(dirty, q), Quantile(clean, q); got != want {
+			t.Errorf("Quantile(dirty, %v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := Quantile([]float64{math.NaN(), math.NaN()}, 0.5); got != 0 {
+		t.Errorf("all-NaN quantile = %v, want 0", got)
+	}
+	qs := Quantiles(dirty, 0.5, 0.9)
+	if qs[0] != Quantile(clean, 0.5) || qs[1] != Quantile(clean, 0.9) {
+		t.Errorf("Quantiles with NaNs = %v", qs)
+	}
+	// ±Inf stay as extreme order statistics.
+	if got := Quantile([]float64{math.Inf(1), 1, 2}, 1); !math.IsInf(got, 1) {
+		t.Errorf("max quantile with +Inf = %v", got)
+	}
+	// NaN q degrades to the median instead of an unspecified index.
+	if got := Quantile(clean, math.NaN()); got != 3 {
+		t.Errorf("NaN-q quantile = %v, want median 3", got)
+	}
+}

@@ -30,20 +30,32 @@ func (l Line) At(x float64) float64 { return l.Intercept + l.Slope*x }
 
 // Fitter accumulates (x, y) samples and maintains the least-squares
 // line over them. The zero value is an empty fitter ready for use.
+//
+// Internally the fit is kept as centered (Welford-style) co-moments —
+// running means plus Σ(x−x̄)², Σ(x−x̄)(y−ȳ) and Σ(y−ȳ)². The previous
+// raw-sum formulation (n·Σx² − (Σx)²) cancels catastrophically when
+// the x values are elapsed seconds hours into an uptime; the centered
+// update is immune to the x origin (see the regression test fitting
+// identical data at x offsets of 0 and 1e6 s).
 type Fitter struct {
-	n                int
-	sx, sy, sxx, sxy float64
-	syy              float64
+	n             int
+	mx, my        float64 // running means of x and y
+	sxx, sxy, syy float64 // centered co-moments about the means
 }
 
 // Add incorporates the sample (x, y) and refits.
 func (f *Fitter) Add(x, y float64) {
 	f.n++
-	f.sx += x
-	f.sy += y
-	f.sxx += x * x
-	f.sxy += x * y
-	f.syy += y * y
+	n := float64(f.n)
+	dx := x - f.mx
+	dy := y - f.my
+	f.mx += dx / n
+	f.my += dy / n
+	// dx uses the pre-update mean and (x−mx) the post-update mean:
+	// their product telescopes to Σ(x−x̄)² exactly (Welford).
+	f.sxx += dx * (x - f.mx)
+	f.sxy += dx * (y - f.my)
+	f.syy += dy * (y - f.my)
 }
 
 // N returns the number of samples added.
@@ -55,13 +67,13 @@ func (f *Fitter) Line() (Line, error) {
 	if f.n < 2 {
 		return Line{}, ErrInsufficient
 	}
-	n := float64(f.n)
-	det := n*f.sxx - f.sx*f.sx
-	if det == 0 || math.Abs(det) < 1e-18*math.Max(1, f.sxx*n) {
+	// All-identical x leaves the centered Sxx at exactly 0 (every dx
+	// against the running mean is 0); no relative-epsilon dance needed.
+	if f.sxx <= 0 {
 		return Line{}, ErrInsufficient
 	}
-	slope := (n*f.sxy - f.sx*f.sy) / det
-	intercept := (f.sy - slope*f.sx) / n
+	slope := f.sxy / f.sxx
+	intercept := f.my - slope*f.mx
 	return Line{Slope: slope, Intercept: intercept}, nil
 }
 
@@ -71,11 +83,10 @@ func (f *Fitter) ResidualVariance() (float64, error) {
 	if f.n < 3 {
 		return 0, ErrInsufficient
 	}
-	line, err := f.Line()
-	if err != nil {
-		return 0, err
+	if f.sxx <= 0 {
+		return 0, ErrInsufficient
 	}
-	sse := f.syy - line.Intercept*f.sy - line.Slope*f.sxy
+	sse := f.syy - f.sxy*f.sxy/f.sxx
 	if sse < 0 {
 		sse = 0 // numerical guard
 	}
@@ -94,12 +105,7 @@ func (f *Fitter) PredictVariance(x float64) (float64, error) {
 		return 0, err
 	}
 	n := float64(f.n)
-	sxxC := f.sxx - f.sx*f.sx/n
-	if sxxC <= 0 {
-		return 0, ErrInsufficient
-	}
-	xbar := f.sx / n
-	return s2 * (1 + 1/n + (x-xbar)*(x-xbar)/sxxC), nil
+	return s2 * (1 + 1/n + (x-f.mx)*(x-f.mx)/f.sxx), nil
 }
 
 // SlopeVariance returns the sampling variance of the fitted slope,
@@ -110,12 +116,7 @@ func (f *Fitter) SlopeVariance() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n := float64(f.n)
-	sxxC := f.sxx - f.sx*f.sx/n
-	if sxxC <= 0 {
-		return 0, ErrInsufficient
-	}
-	return s2 / sxxC, nil
+	return s2 / f.sxx, nil
 }
 
 // SubtractLine re-expresses every accumulated sample with the linear
@@ -126,12 +127,15 @@ func (f *Fitter) SlopeVariance() (float64, error) {
 // expressed against the *corrected* clock and the filter's predictions
 // remain valid (see DESIGN.md).
 func (f *Fitter) SubtractLine(a, b float64) {
-	// The sums transform in closed form; syy is kept consistent too.
-	n := float64(f.n)
-	newSyy := f.syy - 2*a*f.sy - 2*b*f.sxy + n*a*a + 2*a*b*f.sx + b*b*f.sxx
-	f.sxy = f.sxy - a*f.sx - b*f.sxx
-	f.sy = f.sy - n*a - b*f.sx
-	f.syy = newSyy
+	// In centered form the transform is local: the constant a only
+	// shifts the y mean, and the slope b rotates the centered
+	// co-moments (ỹᵢ ← ỹᵢ − b·x̃ᵢ).
+	f.my -= a + b*f.mx
+	f.syy += -2*b*f.sxy + b*b*f.sxx
+	f.sxy -= b * f.sxx
+	if f.syy < 0 {
+		f.syy = 0 // numerical guard
+	}
 }
 
 // Fit computes the least-squares line for the given samples in one

@@ -22,6 +22,7 @@ import (
 	"mntp/internal/sntp"
 	"mntp/internal/stats"
 	"mntp/internal/testbed"
+	"mntp/internal/trend"
 )
 
 // OffsetObs is one source's response within a logging round.
@@ -168,7 +169,7 @@ func Emulate(tr *Trace, p core.Params) Result {
 
 	for i < n {
 		cycleStart := tr.Records[i].Elapsed
-		filter := core.NewFilter(floor, minSamples)
+		filter := core.NewFilterKind(p.Estimator, p.EstimatorWindow, floor, minSamples)
 		minDelay = 0
 
 		// Warm-up phase.
@@ -247,11 +248,15 @@ func Emulate(tr *Trace, p core.Params) Result {
 }
 
 // Config is a named parameter combination, in the paper's Table 2
-// units (minutes).
+// units (minutes), plus the trend estimator choice the search can
+// sweep alongside the timing parameters.
 type Config struct {
 	Name                     string
 	WarmupMin, WarmupWaitMin float64
 	RegularWaitMin, ResetMin float64
+	// Estimator selects the filter's trend estimator; empty means the
+	// paper's least squares.
+	Estimator trend.Kind
 }
 
 // Params converts the minute-based configuration to core.Params.
@@ -264,6 +269,7 @@ func (c Config) Params() core.Params {
 		WarmupWaitTime:  toDur(c.WarmupWaitMin),
 		RegularWaitTime: toDur(c.RegularWaitMin),
 		ResetPeriod:     toDur(c.ResetMin),
+		Estimator:       c.Estimator,
 	}
 }
 
@@ -279,28 +285,37 @@ func Table2Configs() []Config {
 	}
 }
 
-// SearchSpace bounds the searcher's grid.
+// SearchSpace bounds the searcher's grid. An empty Estimators slice
+// searches only the paper's least squares.
 type SearchSpace struct {
 	WarmupMin      []float64
 	WarmupWaitMin  []float64
 	RegularWaitMin []float64
 	ResetMin       []float64
+	Estimators     []trend.Kind
 }
 
 // Search evaluates every combination in the space against the trace
 // and returns results sorted by ascending RMSE (ties broken by fewer
 // requests).
 func Search(tr *Trace, space SearchSpace) []Result {
+	ests := space.Estimators
+	if len(ests) == 0 {
+		ests = []trend.Kind{trend.KindLeastSquares}
+	}
 	var out []Result
 	for _, w := range space.WarmupMin {
 		for _, ww := range space.WarmupWaitMin {
 			for _, rw := range space.RegularWaitMin {
 				for _, rp := range space.ResetMin {
-					cfg := Config{
-						WarmupMin: w, WarmupWaitMin: ww,
-						RegularWaitMin: rw, ResetMin: rp,
+					for _, est := range ests {
+						cfg := Config{
+							WarmupMin: w, WarmupWaitMin: ww,
+							RegularWaitMin: rw, ResetMin: rp,
+							Estimator: est,
+						}
+						out = append(out, Emulate(tr, cfg.Params()))
 					}
-					out = append(out, Emulate(tr, cfg.Params()))
 				}
 			}
 		}
