@@ -59,6 +59,8 @@ func main() {
 	holdoverMax := flag.Duration("holdover-max", time.Hour, "how long holdover retains the sync state during a blackout")
 	estimator := flag.String("estimator", "lsq", "trend estimator for the offset filter: lsq, theilsen or lad")
 	estimatorWindow := flag.Int("estimator-window", 0, "sample window for the robust estimators (0: default, 32)")
+	pollJitter := flag.Float64("poll-jitter", core.DefaultPollJitter, "regular-phase poll randomization fraction, 0 disables (fleet de-phasing)")
+	jitterSeed := flag.Int64("jitter-seed", 0, "poll-jitter rng seed (0: derived from pid and start time)")
 	flag.Parse()
 
 	kind, err := trend.ParseKind(*estimator)
@@ -77,6 +79,18 @@ func main() {
 	params.HoldoverMax = *holdoverMax
 	params.Estimator = kind
 	params.EstimatorWindow = *estimatorWindow
+	if *pollJitter <= 0 {
+		params.DisablePollJitter = true
+	} else {
+		params.PollJitter = *pollJitter
+	}
+	if *jitterSeed != 0 {
+		params.JitterSeed = *jitterSeed
+	} else {
+		// Seed per process so a fleet of devices launched from the same
+		// image still de-phases (the whole point of the jitter).
+		params.JitterSeed = time.Now().UnixNano() ^ int64(os.Getpid())<<32
+	}
 
 	switch *transport {
 	case "sim":

@@ -10,7 +10,7 @@
 //	ntpload -target 127.0.0.1:11123 [-rate 10000] [-duration 10s]
 //	        [-senders 4] [-arrival poisson] [-timeout 1s]
 //	        [-population 0] [-interval 1s] [-version 4] [-seed 1]
-//	        [-json -]
+//	        [-json -] [-json-out report.json]
 //
 // Example capacity run against a 2-shard local server:
 //
@@ -40,6 +40,7 @@ func main() {
 	version := flag.Int("version", 4, "NTP version of the requests")
 	seed := flag.Int64("seed", 1, "arrival randomness seed")
 	jsonOut := flag.String("json", "-", "JSON report destination (- = stdout)")
+	jsonFile := flag.String("json-out", "", "also write the JSON report to this file (for BENCH_*.json trajectories and CI)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -81,6 +82,12 @@ func main() {
 	} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "ntpload:", err)
 		os.Exit(1)
+	}
+	if *jsonFile != "" {
+		if err := os.WriteFile(*jsonFile, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ntpload:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintln(os.Stderr, rep)
 }

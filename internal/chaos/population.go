@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"time"
+
+	"mntp/internal/population"
+)
+
+// Population promotions: the chaos harness' single-client fault
+// windows (blackout, falseticker) replayed over a population.Engine,
+// using the engine's control hooks (At / SetOutage / SetUpstreamErr)
+// the way single-client scenarios use the Gate and LiarClock. The
+// one-client harness answers "does this client survive the fault?";
+// these answer the fleet question — does anyone starve, and does the
+// fault move the population?
+
+func populationUpstreams() []population.Upstream {
+	return []population.Upstream{
+		{Name: "s0", Err: 1 * time.Millisecond, Stratum: 2},
+		{Name: "s1", Err: -2 * time.Millisecond, Stratum: 2},
+		{Name: "s2", Err: 2 * time.Millisecond, Stratum: 2},
+		{Name: "s3", Err: -1 * time.Millisecond, Stratum: 3},
+	}
+}
+
+// PopulationBlackout promotes the blackout scenario: a total network
+// outage over w hits every one of n clients, and after restoration
+// the whole fleet must be served and re-converged by the horizon.
+func PopulationBlackout(n int, seed int64, w Window, horizon time.Duration) (*population.Report, error) {
+	e, err := population.New(population.Config{
+		N:           n,
+		Seed:        seed,
+		Mode:        population.ModeSim,
+		Upstreams:   populationUpstreams(),
+		PollBase:    64 * time.Second,
+		PollJitter:  0.1,
+		StartSpread: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.At(w.From, func() { e.SetOutage(true) })
+	e.At(w.To, func() { e.SetOutage(false) })
+	if err := e.Run(horizon); err != nil {
+		return nil, err
+	}
+
+	r := &population.Report{Scenario: "chaos-blackout", N: n, Seed: seed, Mode: "sim"}
+	if e.Totals().Fails == 0 {
+		r.Violate("blackout window produced no failed polls (harness broken)")
+	}
+	if got := e.ServedClients(); got < n {
+		r.Violate("%d of %d clients never served after the blackout lifted", n-got, n)
+	}
+	if st := e.Stats(0); st.Median > 20*time.Millisecond {
+		r.Violate("population median %v after recovery, want ≤ 20ms", st.Median)
+	}
+	r.Finish(e, horizon)
+	return r, nil
+}
+
+// PopulationFalsetickerFlip promotes the falseticker scenario: an
+// honest upstream turns into a 400ms liar for the window w, dragging
+// the clients locked to it, then recants. Mid-window the lie must
+// show in the population tail; by the horizon the fleet must have
+// re-converged and the median must never have moved.
+func PopulationFalsetickerFlip(n int, seed int64, w Window, horizon time.Duration) (*population.Report, error) {
+	const liarErr = 400 * time.Millisecond
+	e, err := population.New(population.Config{
+		N:           n,
+		Seed:        seed,
+		Mode:        population.ModeSim,
+		Upstreams:   populationUpstreams(),
+		PollBase:    64 * time.Second,
+		PollJitter:  0.1,
+		StartSpread: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var mid population.OffsetStats
+	e.At(w.From, func() { e.SetUpstreamErr(0, liarErr) })
+	e.At(w.To-time.Second, func() { mid = e.Stats(100 * time.Millisecond) })
+	e.At(w.To, func() { e.SetUpstreamErr(0, 1*time.Millisecond) })
+	if err := e.Run(horizon); err != nil {
+		return nil, err
+	}
+
+	r := &population.Report{Scenario: "chaos-falseticker-flip", N: n, Seed: seed, Mode: "sim"}
+	if mid.FracAbove < 0.02 {
+		r.Violate("mid-window only %.1f%% of clients beyond 100ms: the flipped server captured nobody (harness broken)", 100*mid.FracAbove)
+	}
+	if mid.Median > 25*time.Millisecond {
+		r.Violate("mid-window population median %v > 25ms: one liar moved the median", mid.Median)
+	}
+	st := e.Stats(100 * time.Millisecond)
+	if st.Median > 20*time.Millisecond {
+		r.Violate("population median %v after the flip-back, want ≤ 20ms", st.Median)
+	}
+	if st.FracAbove > 0.01 {
+		r.Violate("%.1f%% of clients still beyond 100ms after the flip-back", 100*st.FracAbove)
+	}
+	r.Finish(e, horizon)
+	return r, nil
+}

@@ -1,0 +1,40 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPopulationBlackout promotes the single-client blackout scenario
+// to a 2k-client fleet: everyone loses the network for 3 poll rounds
+// and everyone must be served and re-converged by the horizon.
+func TestPopulationBlackout(t *testing.T) {
+	r, err := PopulationBlackout(2000, 9,
+		Window{From: 5 * 64 * time.Second, To: 8 * 64 * time.Second},
+		14*64*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("population blackout violations: %v", r.Violations)
+	}
+	if r.Fails == 0 {
+		t.Fatal("report lost the failure count")
+	}
+}
+
+// TestPopulationFalsetickerFlip promotes the falseticker scenario: an
+// honest upstream lies by 400ms for 3 rounds; its captives show in
+// the population tail mid-window, the median never moves, and the
+// fleet re-converges after the flip-back.
+func TestPopulationFalsetickerFlip(t *testing.T) {
+	r, err := PopulationFalsetickerFlip(4000, 9,
+		Window{From: 5 * 64 * time.Second, To: 8 * 64 * time.Second},
+		14*64*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("population falseticker-flip violations: %v", r.Violations)
+	}
+}

@@ -72,6 +72,21 @@ type Params struct {
 	// round may try after a failed exchange (default 0: failover then
 	// happens across rounds, as the failed source's score drops).
 	FailoverTries int
+	// PollJitter randomizes every phase cadence by ± this fraction
+	// (default DefaultPollJitter). A fleet of clients polling a shared
+	// pool on identical fixed intervals phase-locks after any
+	// synchronizing event (a regional outage, a common cold start) and
+	// then hits the servers in lockstep forever — the thundering-herd
+	// failure mode the population engine (internal/population)
+	// reproduces. Per-client random jitter diffuses the phases.
+	PollJitter float64
+	// DisablePollJitter pins the exact cadence, for
+	// determinism-sensitive tests and paper-figure reproductions.
+	DisablePollJitter bool
+	// JitterSeed seeds the poll-jitter randomness (0 selects a fixed
+	// default, so simulations stay reproducible; real deployments
+	// should seed per device — see cmd/mntp).
+	JitterSeed int64
 	// MaxSampleDelay rejects samples whose round-trip delay exceeds
 	// it. The four-timestamp algebra bounds a sample's offset error
 	// by δ/2, so a high-delay sample is untrustworthy regardless of
@@ -162,7 +177,22 @@ func (p *Params) applyDefaults() {
 	if p.HoldoverAfter == 0 {
 		p.HoldoverAfter = 3
 	}
+	if p.PollJitter == 0 {
+		p.PollJitter = DefaultPollJitter
+	}
+	if p.PollJitter > maxPollJitter {
+		p.PollJitter = maxPollJitter
+	}
 }
+
+// DefaultPollJitter is the default ± cadence randomization fraction.
+// 10% is enough to diffuse a phase-locked fleet within a handful of
+// rounds while leaving the mean request budget unchanged.
+const DefaultPollJitter = 0.1
+
+// maxPollJitter caps the randomization so a jittered wait can never
+// collapse to zero (busy-polling the pool) or double the cadence.
+const maxPollJitter = 0.5
 
 // Phase identifies which part of Algorithm 1 produced an event.
 type Phase int
@@ -375,10 +405,14 @@ func New(clk clock.Clock, adj sysclock.Adjuster, tr exchange.Transport,
 		params.DisableClockUpdates = true
 		params.DisableDriftCorrection = true
 	}
+	jseed := params.JitterSeed
+	if jseed == 0 {
+		jseed = 0x6d6e7470 // fixed default: determinism matters more than entropy
+	}
 	c := &Client{
 		Clock: clk, Adjuster: adj, Transport: tr, Hints: hp, Sleeper: sl,
 		Params: params,
-		rng:    rand.New(rand.NewSource(0x6d6e7470)), // jitter only; determinism matters more than entropy
+		rng:    rand.New(rand.NewSource(jseed)), // backoff + poll jitter only
 	}
 	c.disc = discipline.New(adj, discipline.Config{
 		StepThreshold:  params.StepThreshold,
@@ -577,19 +611,33 @@ func (c *Client) preflight() {
 // cadence.
 const reprobeBase = time.Second
 
-// nextWait returns the sleep before the next round: the normal phase
-// cadence, or — while a post-network-change backoff is active — a
-// jittered exponential delay in [b/2, b] that doubles each round and
+// nextWait returns the sleep before the next round: the jittered
+// phase cadence, or — while a post-network-change backoff is active —
+// a jittered exponential delay in [b/2, b] that doubles each round and
 // retires once it catches up with the cadence.
 func (c *Client) nextWait(normal time.Duration) time.Duration {
 	if c.backoff <= 0 || c.backoff >= normal {
 		c.backoff = 0
-		return normal
+		return c.jittered(normal)
 	}
 	b := c.backoff
 	c.backoff *= 2
 	half := b / 2
 	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// jittered randomizes a cadence to uniform [normal·(1−j), normal·(1+j)]
+// so a fleet sharing a cold-start instant cannot stay phase-locked.
+func (c *Client) jittered(normal time.Duration) time.Duration {
+	j := c.Params.PollJitter
+	if c.Params.DisablePollJitter || j <= 0 || normal <= 0 {
+		return normal
+	}
+	span := time.Duration(float64(normal) * j)
+	if span <= 0 {
+		return normal
+	}
+	return normal - span + time.Duration(c.rng.Int63n(int64(2*span)+1))
 }
 
 // roundDry records a round that obtained no usable sample. After

@@ -236,7 +236,9 @@ func TestNetworkChangedResetsAndReprobes(t *testing.T) {
 // start near reprobeBase, stay within [b/2, b], double, and retire at
 // the normal cadence.
 func TestNextWaitBackoff(t *testing.T) {
-	c := New(nil, nil, nil, nil, nil, DefaultParams("pool"))
+	params := DefaultParams("pool")
+	params.DisablePollJitter = true // pin the exact cadence for the retirement check
+	c := New(nil, nil, nil, nil, nil, params)
 	c.backoff = reprobeBase
 	normal := time.Minute
 	prevCeil := reprobeBase
@@ -254,5 +256,52 @@ func TestNextWaitBackoff(t *testing.T) {
 	}
 	if c.backoff != 0 {
 		t.Fatal("backoff not cleared after retiring")
+	}
+}
+
+// TestNextWaitPollJitter pins the poll-interval randomization: with
+// the default jitter every wait falls in [0.9·normal, 1.1·normal] and
+// the waits are not all identical (the fleet de-phasing property);
+// with DisablePollJitter the cadence is exact.
+func TestNextWaitPollJitter(t *testing.T) {
+	c := New(nil, nil, nil, nil, nil, DefaultParams("pool"))
+	normal := time.Minute
+	lo := time.Duration(float64(normal) * (1 - DefaultPollJitter))
+	hi := time.Duration(float64(normal) * (1 + DefaultPollJitter))
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		w := c.nextWait(normal)
+		if w < lo || w > hi {
+			t.Fatalf("wait %d: %v outside [%v, %v]", i, w, lo, hi)
+		}
+		distinct[w] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct jittered waits in 50 draws", len(distinct))
+	}
+
+	params := DefaultParams("pool")
+	params.DisablePollJitter = true
+	c2 := New(nil, nil, nil, nil, nil, params)
+	for i := 0; i < 5; i++ {
+		if w := c2.nextWait(normal); w != normal {
+			t.Fatalf("disabled jitter returned %v, want exact %v", w, normal)
+		}
+	}
+
+	// Two clients with different jitter seeds must diverge — identical
+	// sequences would keep a fleet phase-locked even with jitter on.
+	pa, pb := DefaultParams("pool"), DefaultParams("pool")
+	pa.JitterSeed, pb.JitterSeed = 1, 2
+	ca := New(nil, nil, nil, nil, nil, pa)
+	cb := New(nil, nil, nil, nil, nil, pb)
+	same := 0
+	for i := 0; i < 20; i++ {
+		if ca.nextWait(normal) == cb.nextWait(normal) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("differently seeded clients drew identical jitter sequences")
 	}
 }

@@ -91,6 +91,7 @@ func (o Options) durations() (base, cell, long time.Duration) {
 // updateClock=false).
 func baselineMNTPParams(base time.Duration) core.Params {
 	p := core.DefaultParams(testbed.PoolName)
+	p.DisablePollJitter = true // paper-figure reproduction: exact cadence
 	p.WarmupPeriod = base / 6
 	p.WarmupWaitTime = 5 * time.Second
 	p.RegularWaitTime = 5 * time.Second

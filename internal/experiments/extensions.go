@@ -76,6 +76,7 @@ func ExtensionEnergy(opt Options) Outcome {
 				inner := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
 				tr := &energy.MeteredTransport{Inner: inner, Meter: meter, Now: p.Now}
 				params := core.DefaultParams(testbed.PoolName)
+				params.DisablePollJitter = true // paper-figure reproduction: exact cadence
 				params.DisableClockUpdates = true
 				c := core.New(tb.TNClock, nil, tr, tb.Hints, p, params)
 				c.Run(dur)
@@ -190,6 +191,7 @@ func ExtensionNITZ(opt Options) Outcome {
 		tb.Sched.Go(func(p *netsim.Proc) {
 			tr := &netsim.Transport{Net: tb.Net, Proc: p, Clock: tb.TNClock}
 			params := core.DefaultParams(testbed.PoolName)
+			params.DisablePollJitter = true // paper-figure reproduction: exact cadence
 			c := core.New(tb.TNClock, sysclock.SimAdjuster{Clock: tb.TNClock}, tr, tb.Hints, p, params)
 			c.Run(dur)
 		})
@@ -222,6 +224,7 @@ func ExtensionSelfTune(opt Options) Outcome {
 			Seed: opt.Seed + 90, Access: testbed.Wireless, Monitor: true,
 		})
 		params := core.DefaultParams(testbed.PoolName)
+		params.DisablePollJitter = true // paper-figure reproduction: exact cadence
 		params.WarmupPeriod = 20 * time.Minute
 		params.WarmupWaitTime = 90 * time.Second // sparse start
 		params.RegularWaitTime = 20 * time.Minute
@@ -376,6 +379,7 @@ func ExtensionNTPComparison(opt Options) Outcome {
 	tbM.Sched.Go(func(p *netsim.Proc) {
 		tr := &netsim.Transport{Net: tbM.Net, Proc: p, Clock: tbM.TNClock}
 		params := core.DefaultParams(testbed.PoolName)
+		params.DisablePollJitter = true // paper-figure reproduction: exact cadence
 		params.WarmupPeriod = base / 4
 		params.WarmupWaitTime = 10 * time.Second
 		params.RegularWaitTime = 2 * time.Minute

@@ -132,3 +132,30 @@ func (h histSnapshot) mean() time.Duration {
 	}
 	return time.Duration(h.sum / int64(h.count))
 }
+
+// Recorder is the exported face of the HDR-style latency recorder, so
+// other subsystems (the population engine's accuracy/traffic
+// histograms) can reuse the wait-free log-bucketed implementation
+// without duplicating it. The zero value is ready to use; all methods
+// are safe for concurrent use.
+type Recorder struct {
+	r recorder
+}
+
+// Record adds one duration observation (negative values clamp to 0).
+func (p *Recorder) Record(d time.Duration) { p.r.record(d) }
+
+// Count returns the number of recorded observations.
+func (p *Recorder) Count() uint64 { return p.r.count.Load() }
+
+// Mean returns the mean of all observations (0 when empty).
+func (p *Recorder) Mean() time.Duration { return p.r.snapshot().mean() }
+
+// Max returns the largest observation seen.
+func (p *Recorder) Max() time.Duration { return time.Duration(p.r.max.Load()) }
+
+// Quantile returns the q-th (0 ≤ q ≤ 1) quantile as the upper bound
+// of the bucket holding it, and false when the recorder is empty.
+func (p *Recorder) Quantile(q float64) (time.Duration, bool) {
+	return p.r.snapshot().quantile(q)
+}

@@ -30,10 +30,10 @@ type Report struct {
 	KoDRate     uint64            `json:"kod_rate,omitempty"`
 	KoDCodes    map[string]uint64 `json:"kod_codes,omitempty"`
 	Lost        uint64            `json:"lost"`
-	LateReplies uint64 `json:"late_replies"`
-	Stray       uint64 `json:"stray"`
-	SendErrors  uint64 `json:"send_errors"`
-	RecvErrors  uint64 `json:"recv_errors"`
+	LateReplies uint64            `json:"late_replies"`
+	Stray       uint64            `json:"stray"`
+	SendErrors  uint64            `json:"send_errors"`
+	RecvErrors  uint64            `json:"recv_errors"`
 
 	// AchievedSendRate is what the generator actually put on the
 	// wire per second of send phase; an open-loop run keeps it at

@@ -2,6 +2,7 @@ package ntpclient
 
 import (
 	"errors"
+	"math/rand"
 	"time"
 
 	"mntp/internal/clock"
@@ -43,6 +44,18 @@ type Config struct {
 	// DriftWindow bounds the drift estimator's sample history
 	// (default trend.DefaultWindow for the robust estimators).
 	DriftWindow int
+	// PollJitter randomizes Update.Poll by ± this fraction (default
+	// 0.1) so a fleet of clients sharing a cold-start instant cannot
+	// phase-lock on the pool (ntpd's poll randomization serves the
+	// same purpose). PollInterval() stays exact — the jitter is
+	// applied to each round's returned wait, not to the adaptive
+	// interval state.
+	PollJitter float64
+	// DisablePollJitter pins Update.Poll to the exact adaptive
+	// interval, for determinism-sensitive tests.
+	DisablePollJitter bool
+	// JitterSeed seeds the poll-jitter randomness (0 = fixed default).
+	JitterSeed int64
 }
 
 func (c *Config) applyDefaults() {
@@ -60,6 +73,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.FreqClamp == 0 {
 		c.FreqClamp = discipline.MaxFreq
+	}
+	if c.PollJitter == 0 {
+		c.PollJitter = 0.1
+	}
+	if c.PollJitter > 0.5 {
+		c.PollJitter = 0.5
 	}
 }
 
@@ -112,6 +131,9 @@ type Client struct {
 	drift      trend.Estimator
 	driftEpoch time.Time
 	haveDrift  bool
+	// jrng draws the per-round poll jitter (seeded, so simulations
+	// stay reproducible).
+	jrng *rand.Rand
 }
 
 // driftScaleFloor is the drift estimator's residual scale floor in
@@ -131,6 +153,11 @@ func New(clk clock.Adjustable, tr exchange.Transport, cfg Config) *Client {
 			KoDBaseHold: demobilizePeriod,
 		}),
 	}
+	jseed := cfg.JitterSeed
+	if jseed == 0 {
+		jseed = 0x6e747063
+	}
+	c.jrng = rand.New(rand.NewSource(jseed))
 	c.drift = trend.NewEstimator(cfg.DriftEstimator, cfg.DriftWindow, driftScaleFloor)
 	c.disc = discipline.New(sysclock.SimAdjuster{Clock: clk}, discipline.Config{
 		StepThreshold:  cfg.StepThreshold,
@@ -156,6 +183,21 @@ func (c *Client) PollInterval() time.Duration {
 		iv = c.Config.MaxPoll
 	}
 	return iv
+}
+
+// nextPoll returns the adaptive interval randomized by ±PollJitter —
+// the wait Update.Poll reports, de-phasing fleets of clients.
+func (c *Client) nextPoll() time.Duration {
+	iv := c.PollInterval()
+	j := c.Config.PollJitter
+	if c.Config.DisablePollJitter || j <= 0 {
+		return iv
+	}
+	span := time.Duration(float64(iv) * j)
+	if span <= 0 {
+		return iv
+	}
+	return iv - span + time.Duration(c.jrng.Int63n(int64(2*span)+1))
 }
 
 // demobilizePeriod is the base hold-down for a server answering with
@@ -188,12 +230,12 @@ func (c *Client) Poll() (Update, error) {
 		cands = append(cands, Candidate{Server: server, Sample: best, Jitter: jitter})
 	}
 	if len(cands) == 0 {
-		return Update{Poll: c.PollInterval()}, errors.New("ntpclient: all servers unreachable")
+		return Update{Poll: c.nextPoll()}, errors.New("ntpclient: all servers unreachable")
 	}
 
 	surv := Select(cands)
 	if len(surv) == 0 {
-		return Update{Poll: c.PollInterval()}, ErrNoConsensus
+		return Update{Poll: c.nextPoll()}, ErrNoConsensus
 	}
 	c.markSelection(cands, surv)
 	surv = Cluster(surv)
@@ -206,7 +248,7 @@ func (c *Client) Poll() (Update, error) {
 	}
 	c.discipline(offset, &u)
 	c.adaptPoll(offset, surv)
-	u.Poll = c.PollInterval()
+	u.Poll = c.nextPoll()
 	return u, nil
 }
 

@@ -101,6 +101,66 @@ func TestRateLimiterKnownRespectsWindow(t *testing.T) {
 	}
 }
 
+// TestRateLimiterSharedSourceIPBudget pins the per-IP budget
+// semantics a NAT'd population lives under: many distinct clients
+// behind one address share a single 16-byte key, so they share ONE
+// bucket — the first `limit` requests in a window pass no matter
+// which client sent them, every later one is limited, and the whole
+// shared budget refreshes at the window boundary. This is the
+// documented baseline the population engine's NAT-collision scenario
+// asserts against.
+func TestRateLimiterSharedSourceIPBudget(t *testing.T) {
+	const (
+		limit   = 8
+		clients = 40 // distinct devices, one NAT address
+	)
+	window := time.Minute
+	rl := newRateLimiter(limit, window, 16)
+	nat := keyFromIP(net.ParseIP("203.0.113.9"))
+	other := keyFromIP(net.ParseIP("198.51.100.1"))
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// One poll from each of 40 devices arrives within the window: the
+	// first `limit` pass, the rest are limited — per-IP, not per-client.
+	passed, limited := 0, 0
+	for i := 0; i < clients; i++ {
+		if rl.over(nat, t0.Add(time.Duration(i)*time.Second/2)) {
+			limited++
+		} else {
+			passed++
+		}
+	}
+	if passed != limit {
+		t.Errorf("shared-IP window passed %d requests, want exactly limit=%d", passed, limit)
+	}
+	if limited != clients-limit {
+		t.Errorf("shared-IP window limited %d requests, want %d", limited, clients-limit)
+	}
+	// The NAT's exhaustion is scoped to its key: a different source IP
+	// still has its full budget.
+	if rl.over(other, t0.Add(19*time.Second)) {
+		t.Error("an unrelated source IP was limited by the NAT's exhausted budget")
+	}
+	// All 40 devices hold exactly one table entry between them.
+	if got := rl.size(); got != 2 {
+		t.Errorf("table size = %d, want 2 (one NAT bucket + one other)", got)
+	}
+
+	// The next window refreshes the shared budget: the first request
+	// at t0+window resets the bucket and passes.
+	if rl.over(nat, t0.Add(window)) {
+		t.Error("first request of the fresh window was limited")
+	}
+	for i := 1; i < limit; i++ {
+		if rl.over(nat, t0.Add(window).Add(time.Duration(i)*time.Second)) {
+			t.Errorf("request %d of the fresh window was limited inside the budget", i)
+		}
+	}
+	if !rl.over(nat, t0.Add(window).Add(30*time.Second)) {
+		t.Error("budget overrun in the fresh window was not limited")
+	}
+}
+
 func fillKey(i int) addrKey {
 	var k addrKey
 	k[0] = 0x20 // native v6 space, disjoint from the mapped prefix

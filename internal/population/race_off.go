@@ -1,0 +1,5 @@
+//go:build !race
+
+package population
+
+const raceEnabled = false

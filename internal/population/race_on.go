@@ -1,0 +1,9 @@
+//go:build race
+
+package population
+
+// raceEnabled gates the heaviest population tests: under the race
+// detector a million-client warm-up round and the real-UDP storm
+// scenarios cost an order of magnitude more, so only the NAT leg —
+// the one CI runs under -race on purpose — stays on.
+const raceEnabled = true

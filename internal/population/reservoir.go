@@ -1,0 +1,66 @@
+package population
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Reservoir is a seeded fixed-size uniform sample (algorithm R) over
+// an unbounded stream: the population engine records millions of
+// per-exchange corrections through it at O(k) memory. Deterministic
+// given its seed and the call sequence. Not safe for concurrent use —
+// the sim loop is single-threaded; UDP-mode workers record into
+// per-client slots instead.
+type Reservoir struct {
+	k    int
+	n    uint64
+	rng  uint64
+	vals []float64
+}
+
+// NewReservoir returns a reservoir keeping at most k samples.
+func NewReservoir(k int, seed uint64) *Reservoir {
+	if k <= 0 {
+		k = 1
+	}
+	return &Reservoir{k: k, rng: seed, vals: make([]float64, 0, k)}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.n++
+	if len(r.vals) < r.k {
+		r.vals = append(r.vals, v)
+		return
+	}
+	// Replace a random slot with probability k/n.
+	j := Rand(&r.rng) % r.n
+	if j < uint64(r.k) {
+		r.vals[j] = v
+	}
+}
+
+// Count returns how many observations were offered (not kept).
+func (r *Reservoir) Count() uint64 { return r.n }
+
+// Quantile returns the q-th quantile of |sample| as a duration
+// (observations are seconds), and false when empty.
+func (r *Reservoir) Quantile(q float64) (time.Duration, bool) {
+	if len(r.vals) == 0 {
+		return 0, false
+	}
+	abs := make([]float64, len(r.vals))
+	for i, v := range r.vals {
+		abs[i] = math.Abs(v)
+	}
+	sort.Float64s(abs)
+	i := int(q * float64(len(abs)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(abs) {
+		i = len(abs) - 1
+	}
+	return time.Duration(abs[i] * 1e9), true
+}
