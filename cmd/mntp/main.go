@@ -15,9 +15,17 @@
 //	mntp -transport sim [-duration 1h] [-seed 7]
 //	mntp -transport udp -servers 0.pool.ntp.org:123,1.pool.ntp.org:123,2.pool.ntp.org:123 \
 //	     [-parallel 3] [-hints airport|iwconfig|none] [-hints-cmd PATH]
+//	     [-nts [-nts-ca ca.pem | -nts-insecure]]
+//
+// With -nts (udp transport) every exchange is authenticated per RFC
+// 8915: -server/-servers entries name NTS-KE endpoints (host:4460
+// style), keys and cookies are established over TLS, and NTP traffic
+// goes to the server each KE negotiates. Unverifiable replies are
+// rejected before they reach the synchronization algorithm.
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +37,11 @@ import (
 
 	"mntp/internal/core"
 	"mntp/internal/driftfile"
+	"mntp/internal/exchange"
 	"mntp/internal/hints"
 	"mntp/internal/netsim"
 	"mntp/internal/ntpnet"
+	"mntp/internal/ntske"
 	"mntp/internal/sntp"
 	"mntp/internal/sources"
 	"mntp/internal/testbed"
@@ -61,6 +71,9 @@ func main() {
 	estimatorWindow := flag.Int("estimator-window", 0, "sample window for the robust estimators (0: default, 32)")
 	pollJitter := flag.Float64("poll-jitter", core.DefaultPollJitter, "regular-phase poll randomization fraction, 0 disables (fleet de-phasing)")
 	jitterSeed := flag.Int64("jitter-seed", 0, "poll-jitter rng seed (0: derived from pid and start time)")
+	ntsOn := flag.Bool("nts", false, "authenticate with NTS (udp transport): server addresses name NTS-KE endpoints (host:4460 style)")
+	ntsCA := flag.String("nts-ca", "", "PEM trust root for the NTS-KE certificate (default: system roots)")
+	ntsInsecure := flag.Bool("nts-insecure", false, "skip NTS-KE certificate verification (testing only)")
 	flag.Parse()
 
 	kind, err := trend.ParseKind(*estimator)
@@ -94,6 +107,10 @@ func main() {
 
 	switch *transport {
 	case "sim":
+		if *ntsOn {
+			fmt.Fprintln(os.Stderr, "-nts requires -transport udp")
+			os.Exit(2)
+		}
 		runSim(*seed, params, *duration)
 	case "udp":
 		list := splitServers(*servers)
@@ -102,7 +119,23 @@ func main() {
 		}
 		params.Parallelism = *parallel
 		params.ExchangeTimeout = *exchTimeout
-		runUDP(list, *hintsMode, *hintsCmd, *iface, *drift, params, *duration)
+		var tr exchange.Transport = &ntpnet.Client{Timeout: 3 * time.Second}
+		if *ntsOn {
+			tlsCfg := &tls.Config{InsecureSkipVerify: *ntsInsecure}
+			if *ntsCA != "" {
+				pool, err := ntske.RootPool(*ntsCA)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "-nts-ca %s: %v\n", *ntsCA, err)
+					os.Exit(2)
+				}
+				tlsCfg.RootCAs = pool
+			}
+			tr = &ntske.Transport{Inner: tr, TLSConfig: tlsCfg}
+		} else if *ntsCA != "" || *ntsInsecure {
+			fmt.Fprintln(os.Stderr, "-nts-ca/-nts-insecure require -nts")
+			os.Exit(2)
+		}
+		runUDP(list, tr, *hintsMode, *hintsCmd, *iface, *drift, params, *duration)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
@@ -199,7 +232,7 @@ func (c *cmdHints) Hints() hints.Hints {
 	return h
 }
 
-func runUDP(servers []string, hintsMode, hintsCmd, iface, driftPath string, params core.Params, duration time.Duration) {
+func runUDP(servers []string, transport exchange.Transport, hintsMode, hintsCmd, iface, driftPath string, params core.Params, duration time.Duration) {
 	var hp hints.Provider
 	switch hintsMode {
 	case "airport":
@@ -230,8 +263,7 @@ func runUDP(servers []string, hintsMode, hintsCmd, iface, driftPath string, para
 		params.WarmupServers = servers
 	}
 	params.RegularServer = servers[0]
-	c := core.New(wallClock{}, nil, &ntpnet.Client{Timeout: 3 * time.Second},
-		hp, sntp.WallSleeper{}, params)
+	c := core.New(wallClock{}, nil, transport, hp, sntp.WallSleeper{}, params)
 	c.OnEvent = printEvent
 	// Suspend/resume detection needs a monotonic reading the wall
 	// clock's jumps cannot touch; time.Since reads Go's monotonic

@@ -24,11 +24,24 @@
 //	          [-shards 1] [-workers 0] [-ratelimit 0] [-ratewindow 1m]
 //	          [-maxclients 16384] [-stats 30s] [-overload]
 //	          [-shed-target 5ms] [-shed-interval 100ms] [-watchdog 1s]
+//	          [-nts] [-nts-listen host:4460] [-nts-cert c.pem -nts-key k.pem]
+//	          [-nts-cert-out cert.pem] [-nts-rotate 0]
+//
+// With -nts the server also runs an NTS-KE endpoint (RFC 8915): a TLS
+// listener that negotiates keys and hands out cookies sealed by a
+// rotating key ring, and the UDP path verifies NTS extension fields
+// against that same ring — refusing bad authenticators with NTS NAK
+// and letting verified requests through Degraded-state shedding.
+// Without -nts-cert/-nts-key a self-signed certificate is generated
+// at startup; -nts-cert-out writes its PEM so clients can pin it
+// (ntpload/mntp/sntp -nts-ca).
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +49,8 @@ import (
 
 	"mntp/internal/clock"
 	"mntp/internal/ntpnet"
+	"mntp/internal/nts"
+	"mntp/internal/ntske"
 	"mntp/internal/overload"
 )
 
@@ -53,6 +68,12 @@ func main() {
 	shedTarget := flag.Duration("shed-target", 5*time.Millisecond, "overload: reply-sojourn EWMA target (CoDel-style)")
 	shedInterval := flag.Duration("shed-interval", 100*time.Millisecond, "overload: sustained excess required before shedding")
 	watchdog := flag.Duration("watchdog", time.Second, "watchdog/housekeeping interval (negative = off)")
+	ntsOn := flag.Bool("nts", false, "serve NTS: run an NTS-KE endpoint and verify NTS extension fields on the UDP path")
+	ntsListen := flag.String("nts-listen", "", "NTS-KE listen address (default: the -listen host on port 4460)")
+	ntsCert := flag.String("nts-cert", "", "NTS-KE server certificate PEM (with -nts-key; default: self-signed)")
+	ntsKey := flag.String("nts-key", "", "NTS-KE server key PEM")
+	ntsCertOut := flag.String("nts-cert-out", "", "write the serving certificate PEM here (for clients to pin)")
+	ntsRotate := flag.Duration("nts-rotate", 0, "cookie key rotation period (0 = never); cookies from the last few epochs stay valid")
 	flag.Parse()
 
 	// Validate before anything silently truncates: -stratum feeds a
@@ -89,6 +110,15 @@ func main() {
 	if *shedInterval <= 0 {
 		fail("-shed-interval %v must be positive", *shedInterval)
 	}
+	if (*ntsCert == "") != (*ntsKey == "") {
+		fail("-nts-cert and -nts-key must be given together")
+	}
+	if !*ntsOn && (*ntsListen != "" || *ntsCert != "" || *ntsCertOut != "" || *ntsRotate != 0) {
+		fail("-nts-listen/-nts-cert/-nts-cert-out/-nts-rotate require -nts")
+	}
+	if *ntsRotate < 0 {
+		fail("-nts-rotate %v is negative", *ntsRotate)
+	}
 
 	var clk clock.Clock = clock.System{}
 	if *shift != 0 {
@@ -107,13 +137,80 @@ func main() {
 	if *overloadOn {
 		srv.Overload = &overload.Config{Target: *shedTarget, Interval: *shedInterval}
 	}
+
+	// The cookie ring is shared between the UDP verify path and the KE
+	// minting path; depth 3 keeps cookies from the last three rotations
+	// decryptable, so clients re-supplied every exchange never notice a
+	// rotation.
+	var ring *nts.KeyRing
+	if *ntsOn {
+		var err error
+		ring, err = nts.NewKeyRing(3)
+		if err != nil {
+			fail("generating NTS key ring: %v", err)
+		}
+		srv.NTS = ring
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, shards %d, workers %d, ratelimit %d/%v, overload %v)\n",
-		addr, *stratum, *shift, srv.NumShards(), *workers, *rateLimit, *rateWindow, *overloadOn)
+
+	var ke *ntske.Server
+	if *ntsOn {
+		host, _, err := net.SplitHostPort(addr.String())
+		if err != nil {
+			fail("splitting bound address %s: %v", addr, err)
+		}
+		var cert tls.Certificate
+		var certPEM []byte
+		if *ntsCert != "" {
+			cert, err = tls.LoadX509KeyPair(*ntsCert, *ntsKey)
+			if err != nil {
+				fail("loading -nts-cert/-nts-key: %v", err)
+			}
+			if *ntsCertOut != "" {
+				certPEM, err = os.ReadFile(*ntsCert)
+				if err != nil {
+					fail("reading -nts-cert for -nts-cert-out: %v", err)
+				}
+			}
+		} else {
+			cert, certPEM, err = ntske.SelfSigned(time.Now(), host)
+			if err != nil {
+				fail("generating self-signed certificate: %v", err)
+			}
+		}
+		if *ntsCertOut != "" {
+			if err := os.WriteFile(*ntsCertOut, certPEM, 0o644); err != nil {
+				fail("writing -nts-cert-out: %v", err)
+			}
+		}
+		keListen := *ntsListen
+		if keListen == "" {
+			keListen = net.JoinHostPort(host, fmt.Sprint(ntske.DefaultPort))
+		}
+		ke = &ntske.Server{
+			Ring:        ring,
+			TLSConfig:   &tls.Config{Certificates: []tls.Certificate{cert}},
+			NTPHost:     host,
+			NTPPort:     addr.Port,
+			RotateEvery: *ntsRotate,
+		}
+		keAddr, err := ke.Listen(keListen)
+		if err != nil {
+			srv.Close()
+			fmt.Fprintln(os.Stderr, "ntpserver: NTS-KE listen:", err)
+			os.Exit(1)
+		}
+		defer ke.Close()
+		fmt.Printf("ntpserver NTS-KE listening on %s (rotate %v)\n", keAddr, *ntsRotate)
+	}
+
+	fmt.Printf("ntpserver listening on %s (stratum %d, shift %v, shards %d, workers %d, ratelimit %d/%v, overload %v, nts %v)\n",
+		addr, *stratum, *shift, srv.NumShards(), *workers, *rateLimit, *rateWindow, *overloadOn, *ntsOn)
 
 	printStats := func() {
 		fmt.Printf("%s rate-table=%d\n", srv.Snapshot(), srv.RateTableSize())

@@ -16,10 +16,18 @@
 //	sntp [-server host:123] [-n count] [-interval 5s] [-timeout 3s]
 //	     [-profile default|android|windowsmobile]
 //	     [-drop 0] [-dup 0] [-corrupt 0] [-kod 0] [-faultseed 1]
+//	     [-nts [-nts-ca ca.pem | -nts-insecure]]
 //	sntp -servers a:123,b:123,c:123 [-parallel 3] [-n count]
+//
+// With -nts every exchange is authenticated (RFC 8915): -server and
+// -servers entries name NTS-KE endpoints (host:4460 style), keys and
+// cookies are established over TLS, and the NTP traffic goes to the
+// server KE negotiates. Replies that fail verification are rejected
+// like any other exchange failure.
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +37,7 @@ import (
 	"mntp/internal/clock"
 	"mntp/internal/exchange"
 	"mntp/internal/ntpnet"
+	"mntp/internal/ntske"
 	"mntp/internal/sntp"
 	"mntp/internal/sources"
 )
@@ -46,6 +55,9 @@ func main() {
 	corrupt := flag.Float64("corrupt", 0, "fault injection: reply bit-flip probability")
 	kod := flag.Float64("kod", 0, "fault injection: kiss-of-death probability")
 	faultSeed := flag.Int64("faultseed", 1, "fault injection seed")
+	ntsOn := flag.Bool("nts", false, "authenticate with NTS: server addresses name NTS-KE endpoints (host:4460 style)")
+	ntsCA := flag.String("nts-ca", "", "PEM trust root for the NTS-KE certificate (default: system roots)")
+	ntsInsecure := flag.Bool("nts-insecure", false, "skip NTS-KE certificate verification (testing only)")
 	flag.Parse()
 
 	var transport exchange.Transport = &ntpnet.Client{Timeout: *timeout}
@@ -56,6 +68,23 @@ func main() {
 			DropProb: *drop, DupProb: *dup, CorruptProb: *corrupt, KoDProb: *kod,
 		}
 		transport = faults
+	}
+	if *ntsOn {
+		// NTS wraps the fault layer so injected faults exercise the
+		// authenticated path end to end.
+		tlsCfg := &tls.Config{InsecureSkipVerify: *ntsInsecure}
+		if *ntsCA != "" {
+			pool, err := ntske.RootPool(*ntsCA)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-nts-ca %s: %v\n", *ntsCA, err)
+				os.Exit(2)
+			}
+			tlsCfg.RootCAs = pool
+		}
+		transport = &ntske.Transport{Inner: transport, TLSConfig: tlsCfg, KETimeout: *timeout}
+	} else if *ntsCA != "" || *ntsInsecure {
+		fmt.Fprintln(os.Stderr, "-nts-ca/-nts-insecure require -nts")
+		os.Exit(2)
 	}
 
 	if *servers != "" {

@@ -23,6 +23,7 @@
 package loadgen
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -33,6 +34,8 @@ import (
 
 	"mntp/internal/ntppkt"
 	"mntp/internal/ntptime"
+	"mntp/internal/nts"
+	"mntp/internal/ntske"
 )
 
 // Arrival selects the inter-request arrival process of each sender.
@@ -84,6 +87,29 @@ type Config struct {
 	// Seed drives the arrival randomness (senders are decorrelated
 	// deterministically from it).
 	Seed int64
+	// NTS, if non-nil, authenticates the generated load: sessions are
+	// pre-established over NTS-KE before the send phase, every
+	// request carries NTS extension fields (per-request AEAD), and
+	// replies are verified. NTS NAKs and verification failures are
+	// classified distinctly in the report.
+	NTS *NTSConfig
+}
+
+// NTSConfig parameterizes authenticated load generation.
+type NTSConfig struct {
+	// KEAddr is the NTS-KE server (host:port, port defaulting to
+	// 4460). The NTP target remains Config.Target: capacity runs aim
+	// load at a known socket, so the generator deliberately ignores
+	// the KE server's NTP address negotiation.
+	KEAddr string
+	// TLSConfig is used for the KE dials (nil: system roots).
+	TLSConfig *tls.Config
+	// Sessions is how many independent KE sessions to establish,
+	// assigned to source sockets round-robin (default Senders). Each
+	// session holds its own cookie jar and keys.
+	Sessions int
+	// KETimeout bounds each key establishment (default 5s).
+	KETimeout time.Duration
 }
 
 // ctrMask is the slice of transmit-timestamp fraction bits replaced
@@ -102,9 +128,20 @@ const pacingSlack = 500 * time.Microsecond
 // of its in-flight requests, keyed by tagged transmit timestamp.
 type sock struct {
 	conn *net.UDPConn
+	// sess protects this socket's requests when NTS mode is on;
+	// sessions are shared round-robin across sockets (nts.Session is
+	// concurrency-safe).
+	sess *nts.Session
 
 	mu      sync.Mutex
-	pending map[uint64]time.Time // tagged transmit -> send time
+	pending map[uint64]pendingReq // tagged transmit -> request state
+}
+
+// pendingReq is one in-flight request: when it went out and, in NTS
+// mode, the state needed to verify its reply.
+type pendingReq struct {
+	sent time.Time
+	st   *nts.RequestState
 }
 
 type engine struct {
@@ -113,17 +150,22 @@ type engine struct {
 	socks   []*sock
 	start   time.Time
 
-	ctr      atomic.Uint64
-	sent     atomic.Uint64
-	received atomic.Uint64
-	kod      atomic.Uint64
-	kodRate  atomic.Uint64
-	expired  atomic.Uint64
-	late     atomic.Uint64
-	stray    atomic.Uint64
-	sendErrs atomic.Uint64
-	recvErrs atomic.Uint64
-	rec      recorder
+	ctr         atomic.Uint64
+	sent        atomic.Uint64
+	received    atomic.Uint64
+	kod         atomic.Uint64
+	kodRate     atomic.Uint64
+	kodNTS      atomic.Uint64
+	ntsAuthFail atomic.Uint64
+	ntsProtErrs atomic.Uint64
+	expired     atomic.Uint64
+	late        atomic.Uint64
+	stray       atomic.Uint64
+	sendErrs    atomic.Uint64
+	recvErrs    atomic.Uint64
+	rec         recorder
+
+	ntsSessions int
 
 	closing atomic.Bool
 	stop    chan struct{} // stops reaper + snapshotter
@@ -153,6 +195,11 @@ const (
 	// ReplyKoDRate is a RATE kiss-of-death: the server answered but
 	// deliberately refused time (rate limiting or load shedding).
 	ReplyKoDRate
+	// ReplyKoDNTS is an NTS NAK: the server saw NTS fields it could
+	// not authenticate and told the client to re-run key exchange.
+	// Distinct from RATE/other because it signals a key/cookie
+	// problem, not load.
+	ReplyKoDNTS
 	// ReplyKoDOther is any other kiss-of-death (DENY, RSTR, ...).
 	ReplyKoDOther
 )
@@ -165,8 +212,11 @@ func ClassifyReply(p *ntppkt.Packet) (ReplyClass, string) {
 	if !ok {
 		return ReplyServed, ""
 	}
-	if code == "RATE" {
+	switch code {
+	case "RATE":
 		return ReplyKoDRate, code
+	case "NTSN":
+		return ReplyKoDNTS, code
 	}
 	return ReplyKoDOther, code
 }
@@ -174,8 +224,11 @@ func ClassifyReply(p *ntppkt.Packet) (ReplyClass, string) {
 // countKoD tallies one kiss-of-death reply by class and code.
 func (e *engine) countKoD(class ReplyClass, code string) {
 	e.kod.Add(1)
-	if class == ReplyKoDRate {
+	switch class {
+	case ReplyKoDRate:
 		e.kodRate.Add(1)
+	case ReplyKoDNTS:
+		e.kodNTS.Add(1)
 	}
 	e.kodMu.Lock()
 	e.kodCodes[code]++
@@ -294,10 +347,49 @@ func newEngine(cfg Config) (*engine, error) {
 		conn.SetReadBuffer(1 << 20)
 		e.socks = append(e.socks, &sock{
 			conn:    conn,
-			pending: make(map[uint64]time.Time, pendingCap),
+			pending: make(map[uint64]pendingReq, pendingCap),
 		})
 	}
+	if cfg.NTS != nil {
+		if err := e.establishNTS(); err != nil {
+			e.close()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// establishNTS pre-establishes the KE sessions and assigns them to
+// the source sockets round-robin. Sessions reuse their last cookie
+// when the jar runs dry: an open-loop generator cannot let re-supply
+// gate its schedule (shed replies burn cookies without replacing
+// them), and linkability is irrelevant to a load test.
+func (e *engine) establishNTS() error {
+	n := e.cfg.NTS.Sessions
+	if n <= 0 {
+		n = e.cfg.Senders
+	}
+	if n > len(e.socks) {
+		n = len(e.socks)
+	}
+	timeout := e.cfg.NTS.KETimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	sessions := make([]*nts.Session, n)
+	for i := range sessions {
+		sess, err := ntske.KeyExchange(e.cfg.NTS.KEAddr, e.cfg.NTS.TLSConfig, timeout)
+		if err != nil {
+			return fmt.Errorf("loadgen: NTS-KE session %d: %w", i, err)
+		}
+		sess.ReuseWhenDry = true
+		sessions[i] = sess
+	}
+	for i, sk := range e.socks {
+		sk.sess = sessions[i%n]
+	}
+	e.ntsSessions = n
+	return nil
 }
 
 // spoofIP returns the i-th simulated source address, inside 127/8 so
@@ -346,7 +438,7 @@ func (e *engine) send(id int) {
 		return
 	}
 	req := ntppkt.Packet{Leap: ntppkt.LeapNotSync, Version: e.cfg.Version, Mode: ntppkt.ModeClient}
-	buf := make([]byte, 0, ntppkt.HeaderLen)
+	buf := make([]byte, 0, 2048)
 
 	end := e.start.Add(e.cfg.Duration)
 	// Desynchronized first arrivals, so senders don't start in phase.
@@ -379,10 +471,21 @@ func (e *engine) sendOne(sk *sock, req *ntppkt.Packet, buf []byte) []byte {
 	ts := ntptime.FromTime(sent)
 	ts = ts&^ctrMask | ntptime.Timestamp(ctr&ctrMask)
 	req.Transmit = ts
+	var st *nts.RequestState
+	if sk.sess != nil {
+		// Per-request AEAD: fresh unique ID, a cookie from the jar
+		// and the authenticator over the final header image.
+		req.Ext = req.Ext[:0]
+		var err error
+		if st, err = sk.sess.ProtectRequest(req); err != nil {
+			e.ntsProtErrs.Add(1)
+			return buf
+		}
+	}
 	buf = req.Encode(buf[:0])
 	key := uint64(ts)
 	sk.mu.Lock()
-	sk.pending[key] = sent
+	sk.pending[key] = pendingReq{sent: sent, st: st}
 	sk.mu.Unlock()
 	if _, err := sk.conn.Write(buf); err != nil {
 		e.sendErrs.Add(1)
@@ -399,7 +502,7 @@ func (e *engine) sendOne(sk *sock, req *ntppkt.Packet, buf []byte) []byte {
 // the echoed origin timestamp.
 func (e *engine) receive(sk *sock) {
 	defer e.recvWG.Done()
-	buf := make([]byte, 512)
+	buf := make([]byte, 2048) // room for NTS replies, not just headers
 	var p ntppkt.Packet
 	for {
 		n, err := sk.conn.Read(buf)
@@ -421,7 +524,7 @@ func (e *engine) receive(sk *sock) {
 		}
 		key := uint64(p.Origin)
 		sk.mu.Lock()
-		sentAt, ok := sk.pending[key]
+		pr, ok := sk.pending[key]
 		if ok {
 			delete(sk.pending, key)
 		}
@@ -430,7 +533,7 @@ func (e *engine) receive(sk *sock) {
 			e.stray.Add(1) // duplicate, expired-and-reaped, or spoofed
 			continue
 		}
-		d := t.Sub(sentAt)
+		d := t.Sub(pr.sent)
 		if d > e.timeout {
 			e.late.Add(1) // reply exists but missed its deadline: lost
 			continue
@@ -438,6 +541,14 @@ func (e *engine) receive(sk *sock) {
 		if class, code := ClassifyReply(&p); class != ReplyServed {
 			e.countKoD(class, code)
 			continue
+		}
+		if sk.sess != nil && pr.st != nil {
+			// Verify the authenticator (and harvest re-supplied
+			// cookies); an unverifiable reply is not served time.
+			if err := sk.sess.VerifyReply(&p, pr.st); err != nil {
+				e.ntsAuthFail.Add(1)
+				continue
+			}
 		}
 		e.received.Add(1)
 		e.rec.record(d)
@@ -463,8 +574,8 @@ func (e *engine) reap() {
 		case now := <-tick.C:
 			for _, sk := range e.socks {
 				sk.mu.Lock()
-				for key, sentAt := range sk.pending {
-					if now.Sub(sentAt) > e.timeout {
+				for key, pr := range sk.pending {
+					if now.Sub(pr.sent) > e.timeout {
 						delete(sk.pending, key)
 						e.expired.Add(1)
 					}

@@ -27,13 +27,26 @@ type Report struct {
 	// KoDRate counts RATE kisses — the server's deliberate refusals
 	// (rate limiting or overload shedding), as opposed to true loss.
 	// KoDCodes breaks every kiss-of-death down by its code.
-	KoDRate     uint64            `json:"kod_rate,omitempty"`
-	KoDCodes    map[string]uint64 `json:"kod_codes,omitempty"`
-	Lost        uint64            `json:"lost"`
-	LateReplies uint64            `json:"late_replies"`
-	Stray       uint64            `json:"stray"`
-	SendErrors  uint64            `json:"send_errors"`
-	RecvErrors  uint64            `json:"recv_errors"`
+	KoDRate uint64 `json:"kod_rate,omitempty"`
+	// KoDNTS counts NTS NAK kisses — verification failures the server
+	// answered explicitly, distinct from RATE/other KoD because they
+	// signal a key or cookie problem rather than load.
+	KoDNTS   uint64            `json:"kod_nts,omitempty"`
+	KoDCodes map[string]uint64 `json:"kod_codes,omitempty"`
+	// NTSSessions is how many KE sessions the run pre-established (0
+	// for a plain run); NTSAuthFail counts replies that matched a
+	// request but failed AEAD verification and were discarded.
+	NTSSessions int    `json:"nts_sessions,omitempty"`
+	NTSAuthFail uint64 `json:"nts_auth_fail,omitempty"`
+	// NTSProtectErrors counts requests the generator could not
+	// protect (exhausted jar with reuse off, RNG failure) and never
+	// sent.
+	NTSProtectErrors uint64 `json:"nts_protect_errors,omitempty"`
+	Lost             uint64 `json:"lost"`
+	LateReplies      uint64 `json:"late_replies"`
+	Stray            uint64 `json:"stray"`
+	SendErrors       uint64 `json:"send_errors"`
+	RecvErrors       uint64 `json:"recv_errors"`
 
 	// AchievedSendRate is what the generator actually put on the
 	// wire per second of send phase; an open-loop run keeps it at
@@ -75,22 +88,26 @@ func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond)
 
 func (e *engine) report(sendDur time.Duration) *Report {
 	r := &Report{
-		Target:          e.cfg.Target,
-		Arrival:         e.cfg.Arrival,
-		Senders:         e.cfg.Senders,
-		Population:      e.cfg.Population,
-		PopulationBound: e.populationBound,
-		OfferedRate:     e.cfg.Rate,
-		DurationSec:     sendDur.Seconds(),
-		TimeoutSec:      e.timeout.Seconds(),
-		Sent:            e.sent.Load(),
-		Received:        e.received.Load(),
-		KoD:             e.kod.Load(),
-		KoDRate:         e.kodRate.Load(),
-		LateReplies:     e.late.Load(),
-		Stray:           e.stray.Load(),
-		SendErrors:      e.sendErrs.Load(),
-		RecvErrors:      e.recvErrs.Load(),
+		Target:           e.cfg.Target,
+		Arrival:          e.cfg.Arrival,
+		Senders:          e.cfg.Senders,
+		Population:       e.cfg.Population,
+		PopulationBound:  e.populationBound,
+		OfferedRate:      e.cfg.Rate,
+		DurationSec:      sendDur.Seconds(),
+		TimeoutSec:       e.timeout.Seconds(),
+		Sent:             e.sent.Load(),
+		Received:         e.received.Load(),
+		KoD:              e.kod.Load(),
+		KoDRate:          e.kodRate.Load(),
+		KoDNTS:           e.kodNTS.Load(),
+		NTSSessions:      e.ntsSessions,
+		NTSAuthFail:      e.ntsAuthFail.Load(),
+		NTSProtectErrors: e.ntsProtErrs.Load(),
+		LateReplies:      e.late.Load(),
+		Stray:            e.stray.Load(),
+		SendErrors:       e.sendErrs.Load(),
+		RecvErrors:       e.recvErrs.Load(),
 	}
 	r.Lost = e.expired.Load() + e.late.Load()
 	e.kodMu.Lock()
@@ -129,9 +146,14 @@ func (e *engine) report(sendDur time.Duration) *Report {
 // String renders the one-line human summary cmd/ntpload prints to
 // stderr alongside the JSON.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"offered %.0f/s achieved %.0f/s over %.2fs: sent=%d received=%d kod=%d (rate=%d) lost=%d (%.2f%%) p50=%.0fµs p99=%.0fµs max=%.0fµs",
 		r.OfferedRate, r.AchievedSendRate, r.DurationSec,
 		r.Sent, r.Received, r.KoD, r.KoDRate, r.Lost, 100*r.LossFraction,
 		r.Latency.P50Us, r.Latency.P99Us, r.Latency.MaxUs)
+	if r.NTSSessions > 0 {
+		s += fmt.Sprintf(" nts: sessions=%d nak=%d auth-fail=%d protect-err=%d",
+			r.NTSSessions, r.KoDNTS, r.NTSAuthFail, r.NTSProtectErrors)
+	}
+	return s
 }

@@ -51,6 +51,12 @@ type Metrics struct {
 	// Panics counts worker goroutines that died to a handler panic
 	// and were respawned.
 	Panics atomic.Uint64
+	// NTSServed counts authenticated NTS requests answered with a
+	// protected reply (a subset of Served).
+	NTSServed atomic.Uint64
+	// NTSNaks counts NTS requests whose verification failed and were
+	// answered with an NTS NAK kiss-of-death.
+	NTSNaks atomic.Uint64
 
 	latency [numLatencyBuckets]atomic.Uint64
 }
@@ -78,7 +84,10 @@ type Snapshot struct {
 	// snapshot time (Healthy when overload control is off or on
 	// per-shard snapshots).
 	Shed, ShedDropped, Panics, Restarts uint64
-	Health                              overload.State
+	// NTSServed / NTSNaks mirror the Metrics counters: authenticated
+	// requests answered, and NTS verification failures NAKed.
+	NTSServed, NTSNaks uint64
+	Health             overload.State
 	// Latency holds the histogram counts; Latency[i] counts requests
 	// handled within LatencyBounds()[i], the last entry the overflow.
 	Latency [numLatencyBuckets]uint64
@@ -106,6 +115,8 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.ShedDropped += o.ShedDropped
 	s.Panics += o.Panics
 	s.Restarts += o.Restarts
+	s.NTSServed += o.NTSServed
+	s.NTSNaks += o.NTSNaks
 	if o.Health > s.Health {
 		s.Health = o.Health // the merged view reports the worst state
 	}
@@ -125,6 +136,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Shed = m.Shed.Load()
 	s.ShedDropped = m.ShedDropped.Load()
 	s.Panics = m.Panics.Load()
+	s.NTSServed = m.NTSServed.Load()
+	s.NTSNaks = m.NTSNaks.Load()
 	for i := range m.latency {
 		s.Latency[i] = m.latency[i].Load()
 	}
@@ -166,6 +179,9 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "served=%d limited=%d shed=%d shed-dropped=%d dropped=%d malformed=%d write-errors=%d panics=%d restarts=%d health=%s",
 		s.Served, s.Limited, s.Shed, s.ShedDropped, s.Dropped, s.Malformed,
 		s.WriteErrors, s.Panics, s.Restarts, s.Health)
+	if s.NTSServed > 0 || s.NTSNaks > 0 {
+		fmt.Fprintf(&b, " nts-served=%d nts-naks=%d", s.NTSServed, s.NTSNaks)
+	}
 	if p50, ok := s.LatencyQuantile(0.50); ok {
 		p99, _ := s.LatencyQuantile(0.99)
 		fmt.Fprintf(&b, " latency p50≤%v p99≤%v", p50, p99)

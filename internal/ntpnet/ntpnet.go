@@ -73,7 +73,9 @@ func (c *Client) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, ti
 		return nil, time.Time{}, fmt.Errorf("ntpnet: send: %w", err)
 	}
 
-	buf := make([]byte, 512)
+	// Large enough for the biggest NTS reply (authenticator carrying
+	// a full cookie re-supply), not just the 48-byte header.
+	buf := make([]byte, 2048)
 	var resp ntppkt.Packet
 	for {
 		n, err := conn.Read(buf)

@@ -13,6 +13,7 @@ import (
 	"mntp/internal/clock"
 	"mntp/internal/ntppkt"
 	"mntp/internal/ntptime"
+	"mntp/internal/nts"
 	"mntp/internal/overload"
 )
 
@@ -78,6 +79,20 @@ type Server struct {
 	// slow signals to the overload controller. 0 selects the default
 	// (1s); negative disables housekeeping entirely.
 	WatchdogInterval time.Duration
+	// NTS, if non-nil, enables RFC 8915 authenticated serving:
+	// requests carrying NTS extension fields are verified against
+	// this key ring (shared with the NTS-KE server that minted the
+	// cookies). Verified requests get protected replies with cookie
+	// re-supply; failed verification gets an NTS NAK. Authenticated
+	// requests bypass the Degraded shed ramp — they are exactly the
+	// traffic the shed exists to protect, since a spoofed source
+	// cannot produce a valid authenticator — but still pay the
+	// per-client rate limit, and the Overloaded pre-parse drop
+	// (which by design runs before anything is decoded) applies to
+	// them like everyone else. Sampled AEAD cost is fed to the
+	// overload controller so crypto work counts against the sojourn
+	// target.
+	NTS *nts.KeyRing
 	// FaultHook, if non-nil, is called with the shard index for every
 	// admitted datagram, before parsing. It exists for server-side
 	// fault injection (ServerFaults): a hook that panics exercises
@@ -295,6 +310,16 @@ func (s *Server) Health() overload.State {
 	return s.ctrl.State()
 }
 
+// OverloadStats returns the admission controller's snapshot (state,
+// effective sojourn, crypto-cost EWMA); the zero Stats when overload
+// control is off.
+func (s *Server) OverloadStats() overload.Stats {
+	if s.ctrl == nil {
+		return overload.Stats{}
+	}
+	return s.ctrl.Stats()
+}
+
 // Served returns the number of requests answered across all shards.
 func (s *Server) Served() int {
 	n := uint64(0)
@@ -354,7 +379,10 @@ func (s *Server) serve(sh *shard, epoch uint64) {
 		}
 		s.wg.Done()
 	}()
-	buf := make([]byte, 512)
+	// 2048 covers the largest NTS request/reply (~1KB with a full
+	// placeholder load) with headroom; plain 48-byte traffic is
+	// unaffected by the larger read buffer.
+	buf := make([]byte, 2048)
 	out := make([]byte, 0, ntppkt.HeaderLen)
 	var oob []byte
 	if sh.rxts {
@@ -389,13 +417,20 @@ func (s *Server) serve(sh *shard, epoch uint64) {
 const sojournSampleMask = 7
 
 // observeSojourn feeds a sampled ingress-to-now sojourn into the
-// overload controller.
-func (s *Server) observeSojourn(sh *shard, ingress time.Time) {
+// overload controller. crypto is the AEAD time this request spent; it
+// is subtracted from the queue signal and fed to the controller's
+// crypto EWMA instead, so the two components of the effective sojourn
+// never double-count. Plain requests pass zero, which decays the
+// crypto estimate as authenticated load recedes.
+func (s *Server) observeSojourn(sh *shard, ingress time.Time, crypto time.Duration) {
 	if sh.sample.Add(1)&sojournSampleMask != 0 {
 		return
 	}
 	now := time.Now()
-	s.ctrl.Observe(now.Sub(ingress), now)
+	s.ctrl.Observe(now.Sub(ingress)-crypto, now)
+	if s.NTS != nil {
+		s.ctrl.ObserveCrypto(crypto, now)
+	}
 }
 
 // handle processes one datagram. The in-flight/completed bookkeeping
@@ -423,7 +458,7 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 		// flowing and recovery stays possible.
 		if probe = ctrl.ProbeAdmit(); !probe {
 			sh.metrics.ShedDropped.Add(1)
-			s.observeSojourn(sh, ingress)
+			s.observeSojourn(sh, ingress, 0)
 			return out
 		}
 	}
@@ -443,7 +478,30 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 	if version < ntppkt.Version3 || version > ntppkt.Version4 {
 		version = ntppkt.Version4
 	}
-	if ctrl != nil && !probe && ctrl.State() == overload.Degraded {
+	// NTS verification runs before admission decisions: a valid
+	// authenticator is the one signal a spoofed source cannot forge,
+	// so it both earns the bypass below and must be checked before
+	// granting it. The AEAD time is kept apart from the queue signal
+	// and fed to the controller's crypto EWMA.
+	var ntsReq *nts.ServerRequest
+	var cryptoDur time.Duration
+	if s.NTS != nil && nts.IsNTSRequest(req) {
+		cryptoStart := time.Now()
+		var err error
+		ntsReq, err = nts.VerifyRequest(s.NTS, req)
+		cryptoDur = time.Since(cryptoStart)
+		if err != nil {
+			var ok bool
+			if out, ok = s.writeNTSNak(sh, version, req, peer, out); ok {
+				sh.metrics.NTSNaks.Add(1)
+			}
+			if ctrl != nil {
+				s.observeSojourn(sh, ingress, cryptoDur)
+			}
+			return out
+		}
+	}
+	if ctrl != nil && !probe && ntsReq == nil && ctrl.State() == overload.Degraded {
 		// Shed new/unseen flows first: clients already holding
 		// rate-limit state keep their budget, so the population being
 		// answered well stays stable while fresh arrivals are told
@@ -455,7 +513,7 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 			if out, ok = s.writeRate(sh, version, req, peer, out); ok {
 				sh.metrics.Shed.Add(1)
 			}
-			s.observeSojourn(sh, ingress)
+			s.observeSojourn(sh, ingress, 0)
 			return out
 		}
 	}
@@ -483,6 +541,17 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 		Receive:   ntptime.FromTime(recv),
 		Transmit:  ntptime.FromTime(s.Clock.Now()),
 	}
+	if ntsReq != nil {
+		// Seal after the transmit stamp: the authenticator's
+		// associated data covers the final header image.
+		cryptoStart := time.Now()
+		err := nts.ProtectResponse(s.NTS, ntsReq, &resp)
+		cryptoDur += time.Since(cryptoStart)
+		if err != nil {
+			sh.metrics.Dropped.Add(1)
+			return out
+		}
+	}
 	out = resp.Encode(out[:0])
 	if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
 		sh.metrics.WriteErrors.Add(1)
@@ -490,8 +559,11 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 	}
 	sh.metrics.observeLatency(s.Clock.Now().Sub(recv))
 	sh.metrics.Served.Add(1)
+	if ntsReq != nil {
+		sh.metrics.NTSServed.Add(1)
+	}
 	if ctrl != nil {
-		s.observeSojourn(sh, ingress)
+		s.observeSojourn(sh, ingress, cryptoDur)
 	}
 	return out
 }
@@ -506,6 +578,29 @@ func (s *Server) writeRate(sh *shard, version uint8, req *ntppkt.Packet, peer *n
 		Origin: req.Transmit,
 	}
 	out = kod.Encode(out[:0])
+	if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
+		sh.metrics.WriteErrors.Add(1)
+		return out, false
+	}
+	return out, true
+}
+
+// writeNTSNak sends an NTS NAK kiss-of-death (RFC 8915 §5.7): the
+// server saw NTS fields it could not authenticate — a cookie sealed
+// under a rotated-out epoch, or a forged/corrupted authenticator —
+// and the client must re-run key establishment. The request's unique
+// identifier is echoed so the client can match the NAK; no
+// authenticator is added since the server has no verified keys.
+func (s *Server) writeNTSNak(sh *shard, version uint8, req *ntppkt.Packet, peer *net.UDPAddr, out []byte) ([]byte, bool) {
+	nak := ntppkt.Packet{
+		Leap: ntppkt.LeapNotSync, Version: version, Mode: ntppkt.ModeServer,
+		Stratum: ntppkt.StratumKoD, RefID: ntppkt.KissNTSN,
+		Origin: req.Transmit,
+	}
+	if uid, _ := req.FindExt(ntppkt.ExtUniqueIdentifier); uid != nil {
+		nts.ProtectNAK(uid.Value, &nak)
+	}
+	out = nak.Encode(out[:0])
 	if _, err := sh.conn.WriteToUDP(out, peer); err != nil {
 		sh.metrics.WriteErrors.Add(1)
 		return out, false

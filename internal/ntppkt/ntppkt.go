@@ -60,7 +60,52 @@ var (
 	KissDeny = [4]byte{'D', 'E', 'N', 'Y'}
 	KissRate = [4]byte{'R', 'A', 'T', 'E'}
 	KissRstr = [4]byte{'R', 'S', 'T', 'R'}
+	// KissNTSN is the NTS NAK (RFC 8915 §5.7): the server could not
+	// authenticate an NTS-protected request and the client must
+	// re-run NTS-KE.
+	KissNTSN = [4]byte{'N', 'T', 'S', 'N'}
 )
+
+// Extension-field framing constants (RFC 7822).
+const (
+	// ExtHeaderLen is the 4-byte type+length header of every
+	// extension field.
+	ExtHeaderLen = 4
+	// MinExtLen is the smallest legal extension-field length
+	// (header included): RFC 7822 §3 requires at least 16 octets so
+	// a field can never be confused with a legacy MAC.
+	MinExtLen = 16
+	// minLastExtLen is the smallest trailer that is parsed as an
+	// extension field rather than a legacy MAC: RFC 7822 resolves
+	// the ambiguity by requiring the last extension field to be at
+	// least 28 octets, since a MAC is at most 24.
+	minLastExtLen = 28
+	// MaxExtFields bounds the parser: more fields than this in one
+	// packet is rejected as malformed rather than looped over.
+	MaxExtFields = 32
+)
+
+// NTS extension-field types (RFC 8915 §7.6).
+const (
+	ExtUniqueIdentifier     uint16 = 0x0104
+	ExtNTSCookie            uint16 = 0x0204
+	ExtNTSCookiePlaceholder uint16 = 0x0304
+	ExtNTSAuthenticator     uint16 = 0x0404
+)
+
+// ExtField is one extension field: the 16-bit type and the body bytes
+// after the 4-byte header, exactly as they appear on the wire
+// (including any padding the sender added). Keeping the body verbatim
+// makes Encode∘Decode the identity, which the NTS authenticator
+// depends on: its associated data is the wire image of the header and
+// every preceding field, reconstructed by re-encoding.
+//
+// Decoded Value slices alias the buffer passed to DecodeInto; callers
+// that retain a Packet beyond the buffer's lifetime must copy.
+type ExtField struct {
+	Type  uint16
+	Value []byte
+}
 
 // Packet is a decoded NTP packet header.
 type Packet struct {
@@ -77,11 +122,32 @@ type Packet struct {
 	Origin    ntptime.Timestamp // T1: client transmit time, echoed
 	Receive   ntptime.Timestamp // T2: server receive time
 	Transmit  ntptime.Timestamp // T3: server transmit time
+
+	// Ext holds the extension fields after the 48-byte header, in
+	// wire order. Nil for a bare header.
+	Ext []ExtField
+	// LegacyMAC holds a trailing RFC 7822 legacy MAC verbatim: a
+	// 4-byte crypto-NAK or a 20/24-byte keyid+digest. Nil when
+	// absent. It is re-emitted unchanged by Encode.
+	LegacyMAC []byte
 }
 
 // Errors returned by Decode and Validate.
 var (
-	ErrShortPacket    = errors.New("ntppkt: packet shorter than 48 bytes")
+	ErrShortPacket = errors.New("ntppkt: packet shorter than 48 bytes")
+	// ErrExtTruncated: an extension field's declared length runs past
+	// the end of the packet.
+	ErrExtTruncated = errors.New("ntppkt: truncated extension field")
+	// ErrExtLength: an extension field's declared length is below the
+	// RFC 7822 minimum or not a multiple of 4.
+	ErrExtLength = errors.New("ntppkt: bad extension-field length")
+	// ErrExtCount: more than MaxExtFields extension fields.
+	ErrExtCount = errors.New("ntppkt: too many extension fields")
+	// ErrTrailingBytes: bytes after the header that are neither valid
+	// extension fields nor a legacy MAC. Before strict parsing these
+	// were silently ignored, which let truncated or forged trailers
+	// pass as clean packets.
+	ErrTrailingBytes  = errors.New("ntppkt: trailing bytes are neither extension fields nor a MAC")
 	ErrBadVersion     = errors.New("ntppkt: unsupported protocol version")
 	ErrBadMode        = errors.New("ntppkt: unexpected mode")
 	ErrKissOfDeath    = errors.New("ntppkt: kiss-of-death packet")
@@ -118,8 +184,12 @@ func NewSNTPClient(version uint8, transmit ntptime.Timestamp) *Packet {
 	}
 }
 
-// Encode appends the 48-byte wire representation of p to dst and
-// returns the extended slice. Pass nil to allocate.
+// Encode appends the wire representation of p — the 48-byte header,
+// any extension fields and any legacy MAC — to dst and returns the
+// extended slice. Pass nil to allocate. Extension-field bodies are
+// zero-padded up to 4-byte alignment and to the RFC 7822 minimum
+// length; a Packet produced by Decode re-encodes byte-identically
+// because Decode keeps the padding inside Value.
 func (p *Packet) Encode(dst []byte) []byte {
 	var b [HeaderLen]byte
 	b[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
@@ -133,11 +203,40 @@ func (p *Packet) Encode(dst []byte) []byte {
 	binary.BigEndian.PutUint64(b[24:], uint64(p.Origin))
 	binary.BigEndian.PutUint64(b[32:], uint64(p.Receive))
 	binary.BigEndian.PutUint64(b[40:], uint64(p.Transmit))
-	return append(dst, b[:]...)
+	dst = append(dst, b[:]...)
+	for i := range p.Ext {
+		dst = appendExt(dst, &p.Ext[i])
+	}
+	return append(dst, p.LegacyMAC...)
 }
 
-// Decode parses the first 48 bytes of src into a Packet. Extension
-// fields and MACs after the header are ignored, as SNTP clients do.
+// appendExt appends one extension field with RFC 7822 framing: the
+// declared length covers the 4-byte header, the body and the zero
+// padding that brings the field to 4-byte alignment and MinExtLen.
+func appendExt(dst []byte, ef *ExtField) []byte {
+	l := ExtHeaderLen + len(ef.Value)
+	if l < MinExtLen {
+		l = MinExtLen
+	}
+	if rem := l % 4; rem != 0 {
+		l += 4 - rem
+	}
+	var hdr [ExtHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:], ef.Type)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(l))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, ef.Value...)
+	for pad := l - ExtHeaderLen - len(ef.Value); pad > 0; pad-- {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// Decode parses src — header, extension fields and legacy MAC — into
+// a Packet. Trailing bytes that are neither well-formed extension
+// fields nor a MAC are an error: the old behaviour of silently
+// ignoring everything past byte 48 let truncated and forged trailers
+// masquerade as clean packets.
 func Decode(src []byte) (*Packet, error) {
 	var p Packet
 	if err := p.DecodeInto(src); err != nil {
@@ -146,7 +245,11 @@ func Decode(src []byte) (*Packet, error) {
 	return &p, nil
 }
 
-// DecodeInto parses src into p without allocating.
+// DecodeInto parses src into p, reusing p's extension-field slice.
+// Extension-field bodies alias src — copy them if src is reused.
+// Validation is strict per RFC 7822: a declared field length below
+// MinExtLen, unaligned, or running past the end of the packet is
+// rejected, as is any unparseable trailer.
 func (p *Packet) DecodeInto(src []byte) error {
 	if len(src) < HeaderLen {
 		return ErrShortPacket
@@ -164,7 +267,48 @@ func (p *Packet) DecodeInto(src []byte) error {
 	p.Origin = ntptime.Timestamp(binary.BigEndian.Uint64(src[24:]))
 	p.Receive = ntptime.Timestamp(binary.BigEndian.Uint64(src[32:]))
 	p.Transmit = ntptime.Timestamp(binary.BigEndian.Uint64(src[40:]))
+	p.Ext = p.Ext[:0]
+	p.LegacyMAC = nil
+	rest := src[HeaderLen:]
+	// A trailer shorter than minLastExtLen can only be a MAC
+	// (RFC 7822 §3's disambiguation rule), so the loop parses
+	// extension fields only while at least that much remains.
+	for len(rest) >= minLastExtLen {
+		l := int(binary.BigEndian.Uint16(rest[2:]))
+		if l < MinExtLen || l%4 != 0 {
+			return ErrExtLength
+		}
+		if l > len(rest) {
+			return ErrExtTruncated
+		}
+		if len(p.Ext) == MaxExtFields {
+			return ErrExtCount
+		}
+		p.Ext = append(p.Ext, ExtField{
+			Type:  binary.BigEndian.Uint16(rest[0:]),
+			Value: rest[ExtHeaderLen:l],
+		})
+		rest = rest[l:]
+	}
+	switch len(rest) {
+	case 0:
+	case 4, 20, 24: // crypto-NAK, MD5 or SHA-1 keyid+digest
+		p.LegacyMAC = rest
+	default:
+		return ErrTrailingBytes
+	}
 	return nil
+}
+
+// FindExt returns the first extension field of the given type and its
+// index in p.Ext, or a nil field and -1.
+func (p *Packet) FindExt(typ uint16) (*ExtField, int) {
+	for i := range p.Ext {
+		if p.Ext[i].Type == typ {
+			return &p.Ext[i], i
+		}
+	}
+	return nil, -1
 }
 
 // ValidateServerReply applies the sanity checks an SNTP client must run

@@ -2,6 +2,8 @@ package ntppkt
 
 import (
 	"bytes"
+	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -37,7 +39,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != *want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 	}
 }
@@ -57,16 +59,123 @@ func TestDecodeShortPacket(t *testing.T) {
 	}
 }
 
-func TestDecodeIgnoresTrailingBytes(t *testing.T) {
-	want := samplePacket()
-	wire := want.Encode(nil)
-	wire = append(wire, 1, 2, 3, 4, 5, 6, 7, 8) // extension/MAC bytes
+// Regression for the silent-trailer bug: Decode used to ignore all
+// bytes past the header, so truncated extension fields and arbitrary
+// forged trailers decoded as clean packets. Strict parsing rejects
+// anything that is neither a well-formed extension field nor a legacy
+// MAC.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	base := samplePacket().Encode(nil)
+	cases := []struct {
+		name    string
+		trailer []byte
+		want    error
+	}{
+		{"8 garbage bytes", []byte{1, 2, 3, 4, 5, 6, 7, 8}, ErrTrailingBytes},
+		{"truncated EF header", []byte{0x01, 0x04, 0x00}, ErrTrailingBytes},
+		{"EF length past end", append([]byte{0x01, 0x04, 0x00, 0x40}, make([]byte, 28)...), ErrExtTruncated},
+		{"EF length below minimum", append([]byte{0x01, 0x04, 0x00, 0x08}, make([]byte, 28)...), ErrExtLength},
+		{"EF length unaligned", append([]byte{0x01, 0x04, 0x00, 0x12}, make([]byte, 28)...), ErrExtLength},
+		{"16-byte trailer is not a MAC", make([]byte, 16), ErrTrailingBytes},
+	}
+	for _, c := range cases {
+		if _, err := Decode(append(append([]byte{}, base...), c.trailer...)); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeExtensionFields(t *testing.T) {
+	p := samplePacket()
+	p.Ext = []ExtField{
+		{Type: ExtUniqueIdentifier, Value: bytes.Repeat([]byte{0xAB}, 32)},
+		{Type: ExtNTSCookie, Value: bytes.Repeat([]byte{0xCD}, 104)},
+	}
+	wire := p.Encode(nil)
 	got, err := Decode(wire)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != *want {
-		t.Error("trailing bytes changed decode result")
+	if len(got.Ext) != 2 ||
+		got.Ext[0].Type != ExtUniqueIdentifier || !bytes.Equal(got.Ext[0].Value, p.Ext[0].Value) ||
+		got.Ext[1].Type != ExtNTSCookie || !bytes.Equal(got.Ext[1].Value, p.Ext[1].Value) {
+		t.Fatalf("extension fields did not round-trip: %+v", got.Ext)
+	}
+	if out := got.Encode(nil); !bytes.Equal(out, wire) {
+		t.Fatalf("re-encode differs:\n in  %x\n out %x", wire, out)
+	}
+	if ef, i := got.FindExt(ExtNTSCookie); i != 1 || ef == nil {
+		t.Fatalf("FindExt(cookie) = %v, %d", ef, i)
+	}
+	if ef, i := got.FindExt(ExtNTSAuthenticator); i != -1 || ef != nil {
+		t.Fatalf("FindExt(absent) = %v, %d", ef, i)
+	}
+}
+
+// A short extension-field body is padded up to the RFC 7822 minimum
+// of 16 octets on encode, and the padding survives a round trip
+// inside Value so the re-encode is byte-identical.
+func TestEncodePadsShortExtension(t *testing.T) {
+	p := samplePacket()
+	// 28-byte minimum trailer rule means a lone 16-byte EF cannot be
+	// parsed back (it reads as a MAC-sized trailer), so a second,
+	// large field keeps the packet parseable.
+	p.Ext = []ExtField{
+		{Type: 0x0042, Value: []byte{1, 2, 3}},
+		{Type: 0x0043, Value: make([]byte, 28)},
+	}
+	wire := p.Encode(nil)
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ext[0].Value) != MinExtLen-ExtHeaderLen {
+		t.Fatalf("padded body length = %d, want %d", len(got.Ext[0].Value), MinExtLen-ExtHeaderLen)
+	}
+	if out := got.Encode(nil); !bytes.Equal(out, wire) {
+		t.Fatalf("re-encode differs after padding round trip")
+	}
+}
+
+func TestDecodeLegacyMAC(t *testing.T) {
+	for _, n := range []int{4, 20, 24} {
+		wire := samplePacket().Encode(nil)
+		mac := bytes.Repeat([]byte{0x5A}, n)
+		wire = append(wire, mac...)
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("MAC length %d rejected: %v", n, err)
+		}
+		if !bytes.Equal(got.LegacyMAC, mac) {
+			t.Fatalf("MAC length %d not captured", n)
+		}
+		if out := got.Encode(nil); !bytes.Equal(out, wire) {
+			t.Fatalf("MAC length %d: re-encode differs", n)
+		}
+	}
+}
+
+func TestDecodeExtensionThenMAC(t *testing.T) {
+	p := samplePacket()
+	p.Ext = []ExtField{{Type: 0x0042, Value: make([]byte, 28)}}
+	wire := p.Encode(nil)
+	wire = append(wire, bytes.Repeat([]byte{9}, 20)...)
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ext) != 1 || len(got.LegacyMAC) != 20 {
+		t.Fatalf("ext=%d mac=%d, want 1 and 20", len(got.Ext), len(got.LegacyMAC))
+	}
+}
+
+func TestDecodeTooManyExtensions(t *testing.T) {
+	p := samplePacket()
+	for i := 0; i <= MaxExtFields; i++ {
+		p.Ext = append(p.Ext, ExtField{Type: 0x0042, Value: make([]byte, 28)})
+	}
+	if _, err := Decode(p.Encode(nil)); !errors.Is(err, ErrExtCount) {
+		t.Fatalf("err = %v, want ErrExtCount", err)
 	}
 }
 
@@ -186,7 +295,7 @@ func TestQuickStructRoundTrip(t *testing.T) {
 		if err := got.DecodeInto(want.Encode(nil)); err != nil {
 			return false
 		}
-		return got == want
+		return reflect.DeepEqual(got, want)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

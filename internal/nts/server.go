@@ -1,0 +1,123 @@
+package nts
+
+import (
+	"errors"
+
+	"mntp/internal/ntppkt"
+)
+
+// MaxCookiesPerReply caps re-supply so a flood of placeholders cannot
+// inflate replies into an amplification vector (RFC 8915 §5.7 requires
+// replies to stay no larger than requests; each placeholder in the
+// request pays for the cookie it buys back).
+const MaxCookiesPerReply = 8
+
+// ErrNotNTS is returned by VerifyRequest for packets that carry no
+// NTS fields at all.
+var ErrNotNTS = errors.New("nts: not an NTS-protected request")
+
+// ServerRequest is a verified NTS request: everything the serving
+// path needs to build the authenticated response.
+type ServerRequest struct {
+	// UID is the client's unique identifier, echoed in the reply.
+	UID []byte
+	// AEAD, C2S, S2C are the association parameters recovered from
+	// the request's cookie.
+	AEAD uint16
+	C2S  []byte
+	S2C  []byte
+	// NumCookies is how many fresh cookies the reply must carry: one
+	// for the cookie consumed plus one per placeholder, capped at
+	// MaxCookiesPerReply.
+	NumCookies int
+}
+
+// IsNTSRequest reports whether the packet claims NTS protection —
+// i.e. carries an NTS authenticator field. Packets for which this is
+// true but VerifyRequest fails warrant an NTS NAK.
+func IsNTSRequest(p *ntppkt.Packet) bool {
+	_, idx := p.FindExt(ntppkt.ExtNTSAuthenticator)
+	return idx >= 0
+}
+
+// VerifyRequest authenticates an NTS client request against the
+// server's cookie key ring: decrypt the cookie to recover the
+// association keys, then verify the authenticator over the packet
+// image with the c2s key. Errors of any kind mean the request must
+// not be answered with time; if IsNTSRequest holds, answer with an
+// NTS NAK so the client re-runs key exchange.
+func VerifyRequest(ring *KeyRing, p *ntppkt.Packet) (*ServerRequest, error) {
+	_, authIdx := p.FindExt(ntppkt.ExtNTSAuthenticator)
+	if authIdx < 0 {
+		return nil, ErrNotNTS
+	}
+	uidEF, uidIdx := p.FindExt(ntppkt.ExtUniqueIdentifier)
+	if uidEF == nil || uidIdx > authIdx || len(uidEF.Value) < UniqueIDLen {
+		return nil, ErrBadExtField
+	}
+	cookieEF, cookieIdx := p.FindExt(ntppkt.ExtNTSCookie)
+	if cookieEF == nil || cookieIdx > authIdx {
+		return nil, ErrBadExtField
+	}
+	aeadID, c2s, s2c, err := ring.OpenCookie(cookieEF.Value)
+	if err != nil {
+		return nil, err
+	}
+	if aeadID != AEADAESSIVCMAC256 {
+		return nil, ErrBadExtField
+	}
+	if _, err := openAuthenticator(c2s, p, authIdx); err != nil {
+		return nil, err
+	}
+
+	numCookies := 1
+	for i := 0; i < authIdx; i++ {
+		if p.Ext[i].Type == ntppkt.ExtNTSCookiePlaceholder &&
+			len(p.Ext[i].Value) >= CookieLen {
+			numCookies++
+		}
+	}
+	if numCookies > MaxCookiesPerReply {
+		numCookies = MaxCookiesPerReply
+	}
+	return &ServerRequest{
+		UID:        append([]byte(nil), uidEF.Value...),
+		AEAD:       aeadID,
+		C2S:        append([]byte(nil), c2s...),
+		S2C:        append([]byte(nil), s2c...),
+		NumCookies: numCookies,
+	}, nil
+}
+
+// ProtectResponse turns a bare server reply into an authenticated NTS
+// one: echo the unique identifier, then seal NumCookies freshly
+// minted cookies (encrypted, so re-supply is unlinkable on the wire)
+// under the s2c key. Must run after the header fields are final.
+func ProtectResponse(ring *KeyRing, req *ServerRequest, resp *ntppkt.Packet) error {
+	resp.Ext = append(resp.Ext, ntppkt.ExtField{
+		Type:  ntppkt.ExtUniqueIdentifier,
+		Value: req.UID,
+	})
+	var inner []byte
+	for i := 0; i < req.NumCookies; i++ {
+		cookie, err := ring.SealCookie(req.AEAD, req.C2S, req.S2C)
+		if err != nil {
+			return err
+		}
+		inner = appendInnerExt(inner, ntppkt.ExtNTSCookie, cookie)
+	}
+	return sealAuthenticator(req.S2C, resp, inner)
+}
+
+// ProtectNAK decorates an NTS NAK reply (stratum 0, kiss code NTSN,
+// already set by the caller) with the request's unique identifier so
+// the client can match it, per RFC 8915 §5.7. NAKs carry no
+// authenticator — the server may not know valid keys.
+func ProtectNAK(uid []byte, resp *ntppkt.Packet) {
+	if len(uid) > 0 {
+		resp.Ext = append(resp.Ext, ntppkt.ExtField{
+			Type:  ntppkt.ExtUniqueIdentifier,
+			Value: uid,
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package nts
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"mntp/internal/ntppkt"
+)
+
+// DefaultJarCapacity is the cookie-jar size a client aims to hold:
+// RFC 8915 §5.7 recommends eight so one cookie per poll survives
+// seven consecutive losses before the jar runs dry.
+const DefaultJarCapacity = 8
+
+var (
+	// ErrNTSNak is returned by VerifyReply when the server answered
+	// with an NTS NAK kiss code: it could not authenticate the
+	// request (rotated-out cookie, corrupted field) and the client
+	// must re-run NTS-KE to obtain fresh keys and cookies.
+	ErrNTSNak = errors.New("nts: server sent NTS NAK, key exchange must be re-run")
+	// ErrJarEmpty is returned by ProtectRequest when no cookies
+	// remain and reuse is not permitted.
+	ErrJarEmpty = errors.New("nts: cookie jar empty")
+	// ErrUniqueIDMismatch is returned when a reply's unique
+	// identifier does not echo the request's.
+	ErrUniqueIDMismatch = errors.New("nts: reply unique identifier does not match request")
+	// ErrReplyUnauthenticated is returned for replies lacking a valid
+	// authenticator over the s2c key.
+	ErrReplyUnauthenticated = errors.New("nts: reply not authenticated")
+)
+
+// Session holds the client half of an NTS association: the keys and
+// cookie jar produced by one NTS-KE run. Safe for concurrent use.
+type Session struct {
+	// NTPServer is the NTP (not KE) endpoint negotiated for this
+	// association, in host:port form.
+	NTPServer string
+	// AEAD is the negotiated algorithm (AEADAESSIVCMAC256).
+	AEAD uint16
+	// C2S and S2C are the exported association keys.
+	C2S, S2C []byte
+	// Capacity is the jar's target size; 0 means DefaultJarCapacity.
+	Capacity int
+	// ReuseWhenDry lets ProtectRequest reuse the last cookie instead
+	// of failing when the jar empties. Cookie reuse links requests
+	// observably, so this is only for load generation — never for a
+	// real client, which should re-run KE instead.
+	ReuseWhenDry bool
+
+	mu      sync.Mutex
+	cookies [][]byte
+	last    []byte
+}
+
+// RequestState carries what VerifyReply needs to match and verify the
+// reply to one protected request.
+type RequestState struct {
+	UID []byte
+}
+
+// AddCookies appends cookies to the jar, discarding overflow beyond
+// capacity.
+func (s *Session) AddCookies(cookies [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	limit := s.capacity()
+	for _, c := range cookies {
+		if len(s.cookies) >= limit {
+			break
+		}
+		s.cookies = append(s.cookies, append([]byte(nil), c...))
+	}
+}
+
+// CookieCount reports how many cookies remain in the jar.
+func (s *Session) CookieCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cookies)
+}
+
+func (s *Session) capacity() int {
+	if s.Capacity > 0 {
+		return s.Capacity
+	}
+	return DefaultJarCapacity
+}
+
+// ProtectRequest turns a bare client packet into an NTS-protected one:
+// unique identifier, one cookie from the jar, enough placeholders
+// that the server's re-supply refills the jar to capacity, and the
+// authenticator over all of it. Must be called after the header
+// fields (including Transmit) are final.
+func (s *Session) ProtectRequest(p *ntppkt.Packet) (*RequestState, error) {
+	uid, err := newUniqueID()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	var cookie []byte
+	if len(s.cookies) > 0 {
+		cookie = s.cookies[0]
+		s.cookies = s.cookies[:copy(s.cookies, s.cookies[1:])]
+		s.last = cookie
+	} else if s.ReuseWhenDry && s.last != nil {
+		cookie = s.last
+	}
+	placeholders := s.capacity() - 1 - len(s.cookies)
+	s.mu.Unlock()
+	if cookie == nil {
+		return nil, ErrJarEmpty
+	}
+	if placeholders < 0 {
+		placeholders = 0
+	}
+
+	p.Ext = append(p.Ext, ntppkt.ExtField{Type: ntppkt.ExtUniqueIdentifier, Value: uid})
+	p.Ext = append(p.Ext, ntppkt.ExtField{Type: ntppkt.ExtNTSCookie, Value: cookie})
+	for i := 0; i < placeholders; i++ {
+		p.Ext = append(p.Ext, ntppkt.ExtField{
+			Type:  ntppkt.ExtNTSCookiePlaceholder,
+			Value: make([]byte, len(cookie)),
+		})
+	}
+	if err := sealAuthenticator(s.C2S, p, nil); err != nil {
+		return nil, err
+	}
+	return &RequestState{UID: uid}, nil
+}
+
+// VerifyReply authenticates a server reply against the request state:
+// the unique identifier must echo the request's, the authenticator
+// must verify under the s2c key, and any encrypted cookies inside are
+// harvested into the jar. An NTS NAK kiss code maps to ErrNTSNak.
+func (s *Session) VerifyReply(p *ntppkt.Packet, st *RequestState) error {
+	if code, ok := p.KissCode(); ok && code == string(ntppkt.KissNTSN[:]) {
+		return ErrNTSNak
+	}
+	uidEF, _ := p.FindExt(ntppkt.ExtUniqueIdentifier)
+	if uidEF == nil || !bytes.Equal(uidEF.Value, st.UID) {
+		return ErrUniqueIDMismatch
+	}
+	_, authIdx := p.FindExt(ntppkt.ExtNTSAuthenticator)
+	if authIdx < 0 {
+		return ErrReplyUnauthenticated
+	}
+	plain, err := openAuthenticator(s.S2C, p, authIdx)
+	if err != nil {
+		return ErrReplyUnauthenticated
+	}
+	inner, err := parseInnerExts(plain)
+	if err != nil {
+		return err
+	}
+	var fresh [][]byte
+	for i := range inner {
+		if inner[i].Type == ntppkt.ExtNTSCookie && len(inner[i].Value) > 0 {
+			fresh = append(fresh, inner[i].Value)
+		}
+	}
+	s.AddCookies(fresh)
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package nts implements the Network Time Security protection of NTP
+// packets (RFC 8915): the AES-SIV-CMAC-256 AEAD (RFC 5297, built from
+// the standard library's AES primitive — no external dependencies),
+// server cookies minted under a rotating key-epoch ring, the NTS
+// extension fields on the NTP wire format, the client session with
+// its unlinkable cookie jar, and the server-side request
+// verification/response construction used by internal/ntpnet.
+//
+// The division of labour with internal/ntske: this package is
+// everything after key establishment — given the per-association keys
+// (c2s/s2c) and cookies, it protects and verifies packets. Package
+// ntske produces those keys and cookies over TLS.
+package nts
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"errors"
+)
+
+// AEADAESSIVCMAC256 is the IANA AEAD algorithm identifier of
+// AES-SIV-CMAC-256, the mandatory-to-implement algorithm of RFC 8915.
+const AEADAESSIVCMAC256 uint16 = 15
+
+// SIVKeyLen is the AES-SIV-CMAC-256 key length: two AES-128 keys,
+// one for S2V/CMAC and one for CTR.
+const SIVKeyLen = 32
+
+// SIVOverhead is the length added to a plaintext by sivSeal: the
+// 16-byte synthetic IV prepended to the ciphertext.
+const SIVOverhead = 16
+
+// ErrAuthFailed is returned when an AES-SIV tag does not verify:
+// the packet (or cookie) was forged, corrupted or keyed differently.
+var ErrAuthFailed = errors.New("nts: AEAD authentication failed")
+
+// dbl doubles a block in GF(2^128) per RFC 5297 §2.3: left shift by
+// one, conditionally XORing the primitive polynomial constant 0x87
+// into the last byte when the shifted-out bit was set.
+func dbl(b *[16]byte) {
+	msb := b[0] >> 7
+	for i := 0; i < 15; i++ {
+		b[i] = b[i]<<1 | b[i+1]>>7
+	}
+	b[15] <<= 1
+	if msb == 1 {
+		b[15] ^= 0x87
+	}
+}
+
+func xorBlock(dst *[16]byte, src [16]byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// cmacKeys derives the two CMAC subkeys (RFC 4493 §2.3).
+func cmacKeys(c cipher.Block) (k1, k2 [16]byte) {
+	var l [16]byte
+	c.Encrypt(l[:], l[:])
+	k1 = l
+	dbl(&k1)
+	k2 = k1
+	dbl(&k2)
+	return
+}
+
+// cmacSum computes AES-CMAC (RFC 4493) of msg.
+func cmacSum(c cipher.Block, k1, k2 [16]byte, msg []byte) [16]byte {
+	var x [16]byte
+	n := len(msg)
+	for n > 16 {
+		var m [16]byte
+		copy(m[:], msg[:16])
+		xorBlock(&x, m)
+		c.Encrypt(x[:], x[:])
+		msg = msg[16:]
+		n -= 16
+	}
+	var last [16]byte
+	if n == 16 {
+		copy(last[:], msg)
+		xorBlock(&last, k1)
+	} else {
+		copy(last[:], msg)
+		last[n] = 0x80
+		xorBlock(&last, k2)
+	}
+	xorBlock(&x, last)
+	c.Encrypt(x[:], x[:])
+	return x
+}
+
+// s2v computes the S2V function of RFC 5297 §2.4 over the given
+// strings (associated data components, the nonce if any, and the
+// plaintext last).
+func s2v(c cipher.Block, k1, k2 [16]byte, strings ...[]byte) [16]byte {
+	if len(strings) == 0 {
+		var one [16]byte
+		one[15] = 0x01
+		return cmacSum(c, k1, k2, one[:])
+	}
+	var zero [16]byte
+	d := cmacSum(c, k1, k2, zero[:])
+	for _, s := range strings[:len(strings)-1] {
+		dbl(&d)
+		xorBlock(&d, cmacSum(c, k1, k2, s))
+	}
+	sn := strings[len(strings)-1]
+	var t []byte
+	if len(sn) >= 16 {
+		// xorend: XOR D into the last 16 bytes of Sn.
+		t = make([]byte, len(sn))
+		copy(t, sn)
+		off := len(t) - 16
+		for i := 0; i < 16; i++ {
+			t[off+i] ^= d[i]
+		}
+	} else {
+		dbl(&d)
+		var padded [16]byte
+		copy(padded[:], sn)
+		padded[len(sn)] = 0x80
+		xorBlock(&d, padded)
+		t = d[:]
+	}
+	return cmacSum(c, k1, k2, t)
+}
+
+// sivCiphers splits a 32-byte AES-SIV-CMAC-256 key into the S2V
+// (first half) and CTR (second half) AES blocks.
+func sivCiphers(key []byte) (s2vBlock, ctrBlock cipher.Block, err error) {
+	if len(key) != SIVKeyLen {
+		return nil, nil, errors.New("nts: AES-SIV-CMAC-256 key must be 32 bytes")
+	}
+	if s2vBlock, err = aes.NewCipher(key[:16]); err != nil {
+		return nil, nil, err
+	}
+	if ctrBlock, err = aes.NewCipher(key[16:]); err != nil {
+		return nil, nil, err
+	}
+	return s2vBlock, ctrBlock, nil
+}
+
+// sivCTR runs AES-CTR keyed with ctrBlock over src using the
+// synthetic IV with the two reserved bits cleared (RFC 5297 §2.6).
+func sivCTR(ctrBlock cipher.Block, iv [16]byte, dst, src []byte) {
+	iv[8] &= 0x7f
+	iv[12] &= 0x7f
+	cipher.NewCTR(ctrBlock, iv[:]).XORKeyStream(dst, src)
+}
+
+// sivSeal encrypts and authenticates plaintext with AES-SIV-CMAC-256
+// under key, binding the associated-data components (for the RFC 5116
+// nonce-based interface: the AD first, the nonce last). The result is
+// the 16-byte synthetic IV followed by the ciphertext.
+func sivSeal(key, plaintext []byte, ad ...[]byte) ([]byte, error) {
+	s2vBlock, ctrBlock, err := sivCiphers(key)
+	if err != nil {
+		return nil, err
+	}
+	k1, k2 := cmacKeys(s2vBlock)
+	comps := append(append([][]byte(nil), ad...), plaintext)
+	v := s2v(s2vBlock, k1, k2, comps...)
+	out := make([]byte, 16+len(plaintext))
+	copy(out, v[:])
+	sivCTR(ctrBlock, v, out[16:], plaintext)
+	return out, nil
+}
+
+// sivOpen verifies and decrypts a sivSeal output. It returns
+// ErrAuthFailed when the tag does not match.
+func sivOpen(key, sealed []byte, ad ...[]byte) ([]byte, error) {
+	if len(sealed) < 16 {
+		return nil, ErrAuthFailed
+	}
+	s2vBlock, ctrBlock, err := sivCiphers(key)
+	if err != nil {
+		return nil, err
+	}
+	var v [16]byte
+	copy(v[:], sealed[:16])
+	plaintext := make([]byte, len(sealed)-16)
+	sivCTR(ctrBlock, v, plaintext, sealed[16:])
+	k1, k2 := cmacKeys(s2vBlock)
+	comps := append(append([][]byte(nil), ad...), plaintext)
+	t := s2v(s2vBlock, k1, k2, comps...)
+	if subtle.ConstantTimeCompare(t[:], v[:]) != 1 {
+		return nil, ErrAuthFailed
+	}
+	return plaintext, nil
+}

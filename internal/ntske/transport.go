@@ -1,0 +1,118 @@
+package ntske
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mntp/internal/exchange"
+	"mntp/internal/ntppkt"
+	"mntp/internal/nts"
+)
+
+// Transport decorates an exchange.Transport with NTS protection, the
+// same way FaultTransport decorates one with fault injection. The
+// server string passed to Exchange is the NTS-KE address; the first
+// exchange per server runs key establishment, caches the session, and
+// routes the NTP traffic to the endpoint KE negotiated. Every request
+// is protected (unique ID, cookie, placeholders, authenticator) and
+// every reply verified before it reaches the synchronization logic.
+//
+// Recovery is built in: an NTS NAK (or an exhausted cookie jar) drops
+// the session and re-runs KE once within the same call, so a key
+// rotation beyond the server's ring depth costs one extra round trip
+// rather than a failed measurement.
+type Transport struct {
+	// Inner performs the UDP exchange (typically *ntpnet.Client).
+	Inner exchange.Transport
+	// TLSConfig is used for KE dials; nil means system roots.
+	TLSConfig *tls.Config
+	// KETimeout bounds each key-establishment exchange.
+	KETimeout time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*nts.Session
+}
+
+// Exchange implements exchange.Transport.
+func (t *Transport) Exchange(server string, req *ntppkt.Packet) (*ntppkt.Packet, time.Time, error) {
+	resp, t4, err := t.exchangeOnce(server, req, false)
+	if errors.Is(err, nts.ErrNTSNak) || errors.Is(err, nts.ErrJarEmpty) {
+		// The session is stale (server rotated past its ring or the
+		// jar ran dry): re-establish and retry once.
+		resp, t4, err = t.exchangeOnce(server, req, true)
+	}
+	return resp, t4, err
+}
+
+func (t *Transport) exchangeOnce(server string, req *ntppkt.Packet, fresh bool) (*ntppkt.Packet, time.Time, error) {
+	sess, err := t.session(server, fresh)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	// Strip any NTS fields from a previous attempt before
+	// re-protecting the same request packet.
+	req.Ext = req.Ext[:0]
+	st, err := sess.ProtectRequest(req)
+	if err != nil {
+		if errors.Is(err, nts.ErrJarEmpty) {
+			t.drop(server, sess)
+		}
+		return nil, time.Time{}, err
+	}
+	resp, t4, err := t.Inner.Exchange(sess.NTPServer, req)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	if err := sess.VerifyReply(resp, st); err != nil {
+		if errors.Is(err, nts.ErrNTSNak) {
+			t.drop(server, sess)
+			return nil, time.Time{}, err
+		}
+		return nil, time.Time{}, fmt.Errorf("nts: rejecting reply from %s: %w", sess.NTPServer, err)
+	}
+	return resp, t4, nil
+}
+
+// session returns the cached session for server, running KE when none
+// exists or fresh forces a new one.
+func (t *Transport) session(server string, fresh bool) (*nts.Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sessions == nil {
+		t.sessions = make(map[string]*nts.Session)
+	}
+	if sess, ok := t.sessions[server]; ok && !fresh {
+		return sess, nil
+	}
+	sess, err := KeyExchange(server, t.TLSConfig, t.KETimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.sessions[server] = sess
+	return sess, nil
+}
+
+// drop forgets a session, but only if it is still the cached one — a
+// concurrent caller may already have re-established.
+func (t *Transport) drop(server string, sess *nts.Session) {
+	t.mu.Lock()
+	if t.sessions[server] == sess {
+		delete(t.sessions, server)
+	}
+	t.mu.Unlock()
+}
+
+// CookieCount reports the jar level of the cached session for server,
+// 0 when none. Used by tests and diagnostics.
+func (t *Transport) CookieCount(server string) int {
+	t.mu.Lock()
+	sess := t.sessions[server]
+	t.mu.Unlock()
+	if sess == nil {
+		return 0
+	}
+	return sess.CookieCount()
+}

@@ -147,7 +147,12 @@ type Signals struct {
 // Stats is an observable snapshot of the controller.
 type Stats struct {
 	State   State
-	Sojourn time.Duration // current EWMA
+	Sojourn time.Duration // current effective EWMA (queue + crypto)
+	// CryptoCost is the per-request cryptographic-work EWMA folded
+	// into Sojourn: with NTS enabled, AEAD verification spends server
+	// time exactly like queueing does, so it must count against the
+	// same target.
+	CryptoCost time.Duration
 	// DegradedEntries / OverloadedEntries count upward transitions
 	// into each state.
 	DegradedEntries   uint64
@@ -158,16 +163,18 @@ type Stats struct {
 // single atomic loads, safe on the hot path; Observe is intended to
 // be called on a sample of requests (it takes a short mutex).
 type Controller struct {
-	cfg   Config
-	state atomic.Int32
-	ewma  atomic.Int64 // sojourn EWMA, nanoseconds
-	probe atomic.Uint64
+	cfg    Config
+	state  atomic.Int32
+	ewma   atomic.Int64 // queue-sojourn EWMA, nanoseconds
+	cryewa atomic.Int64 // per-request crypto-cost EWMA, nanoseconds
+	probe  atomic.Uint64
 
 	mu           sync.Mutex
 	aboveSince   time.Time // EWMA continuously above Target since
 	aboveHiSince time.Time // EWMA continuously above the overload threshold since
 	belowSince   time.Time // EWMA continuously at/below Target since
 	lastSample   time.Time
+	cryptoSeeded bool
 	floor        State // minimum state forced by slow signals
 	degradedN    uint64
 	overloadedN  uint64
@@ -181,8 +188,13 @@ func New(cfg Config) *Controller {
 // State returns the current health state (one atomic load).
 func (c *Controller) State() State { return State(c.state.Load()) }
 
-// Sojourn returns the current sojourn EWMA.
-func (c *Controller) Sojourn() time.Duration { return time.Duration(c.ewma.Load()) }
+// Sojourn returns the effective sojourn EWMA the state machine holds
+// against Target: measured queue sojourn plus the per-request crypto
+// cost. With NTS off the crypto term is zero and this is the plain
+// queue EWMA.
+func (c *Controller) Sojourn() time.Duration {
+	return time.Duration(c.ewma.Load() + c.cryewa.Load())
+}
 
 // Observe feeds one sampled ingress-to-reply sojourn measurement and
 // advances the state machine. now must be monotonic-ish wall time
@@ -200,6 +212,30 @@ func (c *Controller) Observe(sojourn time.Duration, now time.Time) {
 	}
 	c.ewma.Store(int64(e))
 	c.lastSample = now
+	c.stepLocked(now)
+	c.mu.Unlock()
+}
+
+// ObserveCrypto feeds the cryptographic-work duration of one sampled
+// request into the crypto-cost EWMA. Callers serving mixed traffic
+// must feed zero for sampled plain requests so the estimate tracks
+// the real per-request average and decays when authenticated load
+// recedes. The cost is folded into the effective sojourn the state
+// machine sheds on: AEAD work consumes serving capacity exactly like
+// queueing delay, and admission must see it before the queue builds.
+func (c *Controller) ObserveCrypto(d time.Duration, now time.Time) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	e := time.Duration(c.cryewa.Load())
+	if !c.cryptoSeeded {
+		e = d
+		c.cryptoSeeded = true
+	} else {
+		e += time.Duration(c.cfg.Alpha * float64(d-e))
+	}
+	c.cryewa.Store(int64(e))
 	c.stepLocked(now)
 	c.mu.Unlock()
 }
@@ -226,6 +262,7 @@ func (c *Controller) Evaluate(now time.Time, sig Signals) State {
 	// at its last overloaded estimate.
 	if !c.lastSample.IsZero() && now.Sub(c.lastSample) >= c.cfg.Interval {
 		c.ewma.Store(c.ewma.Load() / 2)
+		c.cryewa.Store(c.cryewa.Load() / 2)
 		c.lastSample = now
 	}
 	c.stepLocked(now)
@@ -233,8 +270,10 @@ func (c *Controller) Evaluate(now time.Time, sig Signals) State {
 }
 
 // stepLocked advances the sustained-interval timers and the state.
+// The signal held against Target is the effective sojourn: queue EWMA
+// plus crypto-cost EWMA.
 func (c *Controller) stepLocked(now time.Time) {
-	e := time.Duration(c.ewma.Load())
+	e := time.Duration(c.ewma.Load() + c.cryewa.Load())
 	hi := time.Duration(c.cfg.OverloadFactor * float64(c.cfg.Target))
 	st := State(c.state.Load())
 	if e > c.cfg.Target {
@@ -291,7 +330,7 @@ func (c *Controller) setStateLocked(s State) {
 // shed while Degraded: a linear ramp from ShedMin at the target to 1
 // at the overload threshold, so shedding deepens with the excess.
 func (c *Controller) ShedProb() float64 {
-	e := float64(c.ewma.Load())
+	e := float64(c.ewma.Load() + c.cryewa.Load())
 	t := float64(c.cfg.Target)
 	hi := c.cfg.OverloadFactor * t
 	p := (e - t) / (hi - t)
@@ -316,7 +355,8 @@ func (c *Controller) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		State:             State(c.state.Load()),
-		Sojourn:           time.Duration(c.ewma.Load()),
+		Sojourn:           time.Duration(c.ewma.Load() + c.cryewa.Load()),
+		CryptoCost:        time.Duration(c.cryewa.Load()),
 		DegradedEntries:   c.degradedN,
 		OverloadedEntries: c.overloadedN,
 	}

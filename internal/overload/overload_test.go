@@ -192,3 +192,69 @@ func TestDefaults(t *testing.T) {
 		t.Errorf("ShedMin 3 clamps to %v, want 1", cf.ShedMin)
 	}
 }
+
+// TestCryptoCostFoldsIntoSojourn pins the NTS capacity contract:
+// per-request AEAD cost counts against the same target as queueing
+// delay. Queue sojourn alone stays under target, crypto cost pushes
+// the effective signal over it, and the controller degrades; when the
+// crypto load recedes (zeros fed for plain traffic) it recovers.
+func TestCryptoCostFoldsIntoSojourn(t *testing.T) {
+	c := New(cfg()) // Target 5ms, Alpha 1: EWMAs track the last sample
+	c.Observe(2*time.Millisecond, base)
+	c.ObserveCrypto(4*time.Millisecond, base)
+	if got := c.Sojourn(); got != 6*time.Millisecond {
+		t.Fatalf("effective sojourn = %v, want 6ms (2ms queue + 4ms crypto)", got)
+	}
+	st := c.Stats()
+	if st.CryptoCost != 4*time.Millisecond {
+		t.Fatalf("Stats.CryptoCost = %v, want 4ms", st.CryptoCost)
+	}
+	if st.Sojourn != 6*time.Millisecond {
+		t.Fatalf("Stats.Sojourn = %v, want 6ms", st.Sojourn)
+	}
+
+	// Neither component alone exceeds the 5ms target, but their sum
+	// does: sustained for a full interval, the state must escalate.
+	now := base
+	for i := 0; i < 4; i++ {
+		now = now.Add(50 * time.Millisecond)
+		c.Observe(2*time.Millisecond, now)
+		c.ObserveCrypto(4*time.Millisecond, now)
+	}
+	if got := c.State(); got != Degraded {
+		t.Fatalf("state with sustained queue+crypto excess = %v, want degraded", got)
+	}
+
+	// Authenticated load stops: sampled plain requests feed zero
+	// crypto cost, the effective signal falls under target, and the
+	// controller walks back to healthy.
+	for i := 0; i < 6; i++ {
+		now = now.Add(50 * time.Millisecond)
+		c.Observe(2*time.Millisecond, now)
+		c.ObserveCrypto(0, now)
+	}
+	if got := c.Stats().CryptoCost; got != 0 {
+		t.Fatalf("crypto EWMA after zero-cost samples = %v, want 0", got)
+	}
+	if got := c.State(); got != Healthy {
+		t.Fatalf("state after crypto load receded = %v, want healthy", got)
+	}
+}
+
+// TestIdleDecayHalvesCryptoCost: the idle decay that lets the queue
+// estimate walk down must drain the crypto estimate too, or a burst
+// of authenticated traffic would pin the server degraded after the
+// burst ends.
+func TestIdleDecayHalvesCryptoCost(t *testing.T) {
+	c := New(cfg())
+	c.Observe(time.Millisecond, base)
+	c.ObserveCrypto(8*time.Millisecond, base)
+	now := base
+	for i := 0; i < 40 && c.Stats().CryptoCost > 0; i++ {
+		now = now.Add(150 * time.Millisecond)
+		c.Evaluate(now, Signals{})
+	}
+	if got := c.Stats().CryptoCost; got != 0 {
+		t.Fatalf("crypto EWMA never decayed to 0, stuck at %v", got)
+	}
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Capacity benchmark over loopback: plain vs NTS-authenticated serving
+# against the same ntpserver (-nts), emitting a single JSON document
+# (schema bench_capacity/v1) with the achieved rate and tail latency of
+# both legs. CI runs this to produce BENCH_capacity.json; committed
+# snapshots at the repo root track the trajectory across changes.
+#
+# Environment knobs:
+#   RATE      offered req/s for the plain leg        (default 20000)
+#   NTS_RATE  offered req/s for the NTS leg          (default RATE/4)
+#   DURATION  send phase per leg                     (default 3s)
+#   SHARDS    server listen shards                   (default 2)
+#   POPULATION simulated client population, plain leg (default 64)
+#   OUT       output path                            (default BENCH_capacity.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATE=${RATE:-20000}
+NTS_RATE=${NTS_RATE:-$((RATE / 4))}
+DURATION=${DURATION:-3s}
+SHARDS=${SHARDS:-2}
+POPULATION=${POPULATION:-64}
+OUT=${OUT:-BENCH_capacity.json}
+NTP_ADDR=${NTP_ADDR:-127.0.0.1:12133}
+KE_ADDR=${KE_ADDR:-127.0.0.1:14460}
+
+tmp=$(mktemp -d)
+trap 'kill $SRV 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/ntpserver" ./cmd/ntpserver
+go build -o "$tmp/ntpload" ./cmd/ntpload
+
+"$tmp/ntpserver" -listen "$NTP_ADDR" -shards "$SHARDS" -stats 0 \
+    -nts -nts-listen "$KE_ADDR" -nts-cert-out "$tmp/ca.pem" &
+SRV=$!
+sleep 1
+
+echo "== plain leg: $RATE req/s for $DURATION" >&2
+"$tmp/ntpload" -target "$NTP_ADDR" -rate "$RATE" -duration "$DURATION" \
+    -population "$POPULATION" -json "$tmp/plain.json" >&2
+
+echo "== NTS leg: $NTS_RATE req/s for $DURATION" >&2
+"$tmp/ntpload" -target "$NTP_ADDR" -rate "$NTS_RATE" -duration "$DURATION" \
+    -nts "$KE_ADDR" -nts-ca "$tmp/ca.pem" -json "$tmp/nts.json" >&2
+
+kill $SRV
+wait $SRV 2>/dev/null || true
+
+PLAIN="$tmp/plain.json" NTS="$tmp/nts.json" OUT="$OUT" SHARDS="$SHARDS" python3 - <<'EOF'
+import json, os, platform
+
+def leg(path):
+    r = json.load(open(path))
+    out = {
+        "offered_rate": r["offered_rate"],
+        "achieved_send_rate": round(r["achieved_send_rate"], 1),
+        "received_rate": round(r["received_rate"], 1),
+        "loss_fraction": round(r["loss_fraction"], 5),
+        "kod": r.get("kod", 0),
+        "p50_us": r["latency"]["p50_us"],
+        "p99_us": r["latency"]["p99_us"],
+    }
+    for k in ("nts_sessions", "kod_nts", "nts_auth_fail"):
+        if k in r:
+            out[k] = r[k]
+    return out
+
+doc = {
+    "schema": "bench_capacity/v1",
+    "host": {"os": platform.system().lower(), "machine": platform.machine(),
+             "cpus": os.cpu_count()},
+    "config": {"shards": int(os.environ["SHARDS"]),
+               "duration_sec": json.load(open(os.environ["PLAIN"]))["duration_sec"]},
+    "plain": leg(os.environ["PLAIN"]),
+    "nts": leg(os.environ["NTS"]),
+}
+out = os.environ["OUT"]
+json.dump(doc, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print("wrote", out)
+EOF
