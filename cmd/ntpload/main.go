@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mntp/internal/loadgen"
@@ -89,6 +91,20 @@ func main() {
 		fail("-nts-ca/-nts-insecure/-nts-sessions require -nts")
 	}
 
+	// An interrupted run emits its partial report (truncated: true)
+	// instead of dying with nothing: a long capacity run keeps the
+	// measurements it already paid for. A second signal kills the
+	// process the default way.
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "ntpload: interrupted, emitting partial report")
+		close(interrupt)
+		signal.Stop(sigCh)
+	}()
+
 	rep, err := loadgen.Run(loadgen.Config{
 		Target:        *target,
 		Rate:          *rate,
@@ -101,6 +117,7 @@ func main() {
 		Version:       uint8(*version),
 		Seed:          *seed,
 		NTS:           ntsCfg,
+		Interrupt:     interrupt,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ntpload:", err)

@@ -11,7 +11,9 @@
 // Scenarios: flashcrowd (overload shedding without a dark interval),
 // herd (poll phase-locking vs the jitter fix), nat (10k clients
 // behind one source IP vs the per-IP rate limiter), falseticker (a
-// liar only a fraction of the population can see).
+// liar only a fraction of the population can see), restart (a mid-run
+// server restart on pinned ports: invisible to the NTS fleet with a
+// persisted keyring, a NAK/re-KE herd without one).
 //
 // The process exits 1 when the scenario's seeded assertions are
 // violated, so CI legs can gate on it directly.

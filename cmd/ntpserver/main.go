@@ -24,8 +24,10 @@
 //	          [-shards 1] [-workers 0] [-ratelimit 0] [-ratewindow 1m]
 //	          [-maxclients 16384] [-stats 30s] [-overload]
 //	          [-shed-target 5ms] [-shed-interval 100ms] [-watchdog 1s]
+//	          [-drain 5s] [-config server.conf]
 //	          [-nts] [-nts-listen host:4460] [-nts-cert c.pem -nts-key k.pem]
 //	          [-nts-cert-out cert.pem] [-nts-rotate 0]
+//	          [-nts-state ring.state -nts-state-key ring.key]
 //
 // With -nts the server also runs an NTS-KE endpoint (RFC 8915): a TLS
 // listener that negotiates keys and hands out cookies sealed by a
@@ -35,15 +37,33 @@
 // Without -nts-cert/-nts-key a self-signed certificate is generated
 // at startup; -nts-cert-out writes its PEM so clients can pin it
 // (ntpload/mntp/sntp -nts-ca).
+//
+// Lifecycle: SIGTERM/SIGINT drain gracefully — new datagrams stop
+// being admitted, in-flight requests are answered, sockets close only
+// after the drain or the -drain deadline (0 drains nothing: the old
+// immediate close). SIGHUP reloads live: the -config file (key=value:
+// stratum, ratelimit, ratewindow, maxclients, shed-target,
+// shed-interval) is re-read and applied without dropping a socket,
+// the NTS certificate is rotated (self-signed regenerated, or
+// -nts-cert/-nts-key re-read from disk), -nts-cert-out is rewritten,
+// and the worker pools are recycled one shard at a time under load.
+// With -nts-state the cookie ring is persisted (sealed under the key
+// in -nts-state-key, created on first run) and restored on restart,
+// so outstanding cookies survive and the fleet never sees a restart
+// as an NTS NAK storm.
 package main
 
 import (
+	"bufio"
+	"context"
 	"crypto/tls"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +73,91 @@ import (
 	"mntp/internal/ntske"
 	"mntp/internal/overload"
 )
+
+// parseConfig reads a key=value reload file ('#' comments, blank
+// lines ignored). Keys mirror the reloadable flags: stratum,
+// ratelimit, ratewindow, maxclients, shed-target, shed-interval.
+// Unknown keys fail loudly — a typo silently ignored is a config
+// change that silently didn't happen.
+func parseConfig(path string) (ntpnet.ReloadConfig, error) {
+	var r ntpnet.ReloadConfig
+	f, err := os.Open(path)
+	if err != nil {
+		return r, err
+	}
+	defer f.Close()
+	var oc overload.Config
+	haveOverload := false
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(text, "=")
+		if !ok {
+			return r, fmt.Errorf("%s:%d: want key=value, got %q", path, line, text)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		bad := func(err error) error {
+			return fmt.Errorf("%s:%d: %s: %v", path, line, key, err)
+		}
+		switch key {
+		case "stratum":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, bad(err)
+			}
+			if n < 1 || n > 15 {
+				return r, fmt.Errorf("%s:%d: stratum %d out of range 1..15", path, line, n)
+			}
+			r.Stratum = uint8(n)
+		case "ratelimit":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, bad(err)
+			}
+			r.RateLimit = &n
+		case "ratewindow":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return r, bad(err)
+			}
+			r.RateWindow = d
+		case "maxclients":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, bad(err)
+			}
+			r.MaxClients = n
+		case "shed-target":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return r, bad(err)
+			}
+			oc.Target = d
+			haveOverload = true
+		case "shed-interval":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return r, bad(err)
+			}
+			oc.Interval = d
+			haveOverload = true
+		default:
+			return r, fmt.Errorf("%s:%d: unknown key %q", path, line, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return r, err
+	}
+	if haveOverload {
+		r.Overload = &oc
+	}
+	return r, nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:11123", "listen address")
@@ -68,12 +173,16 @@ func main() {
 	shedTarget := flag.Duration("shed-target", 5*time.Millisecond, "overload: reply-sojourn EWMA target (CoDel-style)")
 	shedInterval := flag.Duration("shed-interval", 100*time.Millisecond, "overload: sustained excess required before shedding")
 	watchdog := flag.Duration("watchdog", time.Second, "watchdog/housekeeping interval (negative = off)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain deadline on SIGTERM/SIGINT (0 = close immediately)")
+	configPath := flag.String("config", "", "key=value config file applied on SIGHUP (stratum, ratelimit, ratewindow, maxclients, shed-target, shed-interval)")
 	ntsOn := flag.Bool("nts", false, "serve NTS: run an NTS-KE endpoint and verify NTS extension fields on the UDP path")
 	ntsListen := flag.String("nts-listen", "", "NTS-KE listen address (default: the -listen host on port 4460)")
 	ntsCert := flag.String("nts-cert", "", "NTS-KE server certificate PEM (with -nts-key; default: self-signed)")
 	ntsKey := flag.String("nts-key", "", "NTS-KE server key PEM")
 	ntsCertOut := flag.String("nts-cert-out", "", "write the serving certificate PEM here (for clients to pin)")
 	ntsRotate := flag.Duration("nts-rotate", 0, "cookie key rotation period (0 = never); cookies from the last few epochs stay valid")
+	ntsState := flag.String("nts-state", "", "persist the cookie ring here (sealed; restored on restart so outstanding cookies survive)")
+	ntsStateKey := flag.String("nts-state-key", "", "file holding the hex ring-sealing key (created 0600 on first run; required with -nts-state)")
 	flag.Parse()
 
 	// Validate before anything silently truncates: -stratum feeds a
@@ -113,11 +222,30 @@ func main() {
 	if (*ntsCert == "") != (*ntsKey == "") {
 		fail("-nts-cert and -nts-key must be given together")
 	}
-	if !*ntsOn && (*ntsListen != "" || *ntsCert != "" || *ntsCertOut != "" || *ntsRotate != 0) {
-		fail("-nts-listen/-nts-cert/-nts-cert-out/-nts-rotate require -nts")
+	if !*ntsOn && (*ntsListen != "" || *ntsCert != "" || *ntsCertOut != "" || *ntsRotate != 0 || *ntsState != "") {
+		fail("-nts-listen/-nts-cert/-nts-cert-out/-nts-rotate/-nts-state require -nts")
 	}
 	if *ntsRotate < 0 {
 		fail("-nts-rotate %v is negative", *ntsRotate)
+	}
+	if (*ntsState == "") != (*ntsStateKey == "") {
+		fail("-nts-state and -nts-state-key must be given together")
+	}
+	if *drain < 0 {
+		fail("-drain %v is negative", *drain)
+	}
+	var startupCfg *ntpnet.ReloadConfig
+	if *configPath != "" {
+		// Parse at startup, not at the first SIGHUP: a broken file
+		// should stop the deploy, not surface hours later. The parsed
+		// config is applied once the server is listening, so the file
+		// governs from the first request — SIGHUP re-reads the same
+		// file, keeping flags as defaults the file overrides.
+		rc, err := parseConfig(*configPath)
+		if err != nil {
+			fail("-config: %v", err)
+		}
+		startupCfg = &rc
 	}
 
 	var clk clock.Clock = clock.System{}
@@ -141,13 +269,32 @@ func main() {
 	// The cookie ring is shared between the UDP verify path and the KE
 	// minting path; depth 3 keeps cookies from the last three rotations
 	// decryptable, so clients re-supplied every exchange never notice a
-	// rotation.
+	// rotation. With -nts-state the ring is restored from its last
+	// checkpoint, so a restart keeps decrypting the fleet's outstanding
+	// cookies instead of NAKing them all into a re-KE storm; a missing
+	// or corrupt state file degrades to a fresh ring (cold start).
 	var ring *nts.KeyRing
+	var stateKey []byte
 	if *ntsOn {
 		var err error
-		ring, err = nts.NewKeyRing(3)
-		if err != nil {
-			fail("generating NTS key ring: %v", err)
+		if *ntsState != "" {
+			stateKey, err = nts.LoadOrCreateMasterKey(*ntsStateKey)
+			if err != nil {
+				fail("%v", err)
+			}
+			var loaded bool
+			ring, loaded, err = nts.LoadOrNewKeyRing(*ntsState, stateKey, 3)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ntpserver: NTS state %s unusable (%v): cold start\n", *ntsState, err)
+			}
+			if loaded {
+				fmt.Printf("ntpserver NTS ring restored from %s (epoch %d)\n", *ntsState, ring.Epoch())
+			}
+		} else {
+			ring, err = nts.NewKeyRing(3)
+			if err != nil {
+				fail("generating NTS key ring: %v", err)
+			}
 		}
 		srv.NTS = ring
 	}
@@ -157,8 +304,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if startupCfg != nil {
+		srv.Reload(*startupCfg)
+	}
 
 	var ke *ntske.Server
+	// rotateCert is the SIGHUP certificate-rotation hook: regenerate
+	// (self-signed) or re-read (-nts-cert) the serving certificate,
+	// swap it into the live KE listener, and republish -nts-cert-out.
+	var rotateCert func() error
 	if *ntsOn {
 		host, _, err := net.SplitHostPort(addr.String())
 		if err != nil {
@@ -198,6 +352,8 @@ func main() {
 			NTPHost:     host,
 			NTPPort:     addr.Port,
 			RotateEvery: *ntsRotate,
+			StatePath:   *ntsState,
+			StateKey:    stateKey,
 		}
 		keAddr, err := ke.Listen(keListen)
 		if err != nil {
@@ -206,6 +362,44 @@ func main() {
 			os.Exit(1)
 		}
 		defer ke.Close()
+		// The first checkpoint lands immediately, not at the first
+		// rotation: a crash before any rotation must still restart
+		// warm.
+		if err := ke.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "ntpserver: NTS state checkpoint:", err)
+		}
+		rotateCert = func() error {
+			var next tls.Certificate
+			var nextPEM []byte
+			var err error
+			if *ntsCert != "" {
+				// Operator-managed cert: re-read the files — this is
+				// how a renewed certificate is deployed without a
+				// restart.
+				next, err = tls.LoadX509KeyPair(*ntsCert, *ntsKey)
+				if err != nil {
+					return fmt.Errorf("reloading -nts-cert/-nts-key: %w", err)
+				}
+				if *ntsCertOut != "" {
+					nextPEM, err = os.ReadFile(*ntsCert)
+					if err != nil {
+						return fmt.Errorf("reading -nts-cert: %w", err)
+					}
+				}
+			} else {
+				next, nextPEM, err = ntske.SelfSigned(time.Now(), host)
+				if err != nil {
+					return fmt.Errorf("regenerating self-signed certificate: %w", err)
+				}
+			}
+			ke.SetCertificate(next)
+			if *ntsCertOut != "" {
+				if err := os.WriteFile(*ntsCertOut, nextPEM, 0o644); err != nil {
+					return fmt.Errorf("rewriting -nts-cert-out: %w", err)
+				}
+			}
+			return nil
+		}
 		fmt.Printf("ntpserver NTS-KE listening on %s (rotate %v)\n", keAddr, *ntsRotate)
 	}
 
@@ -217,9 +411,36 @@ func main() {
 	}
 	sig := make(chan os.Signal, 1)
 	// SIGTERM is what service managers (systemd, docker stop) send;
-	// without it the server was killed uncleanly, skipping the final
-	// stats snapshot and socket close below.
+	// without it the server was killed uncleanly, skipping the drain,
+	// the final stats snapshot and the socket close below.
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+
+	// reload is the SIGHUP path: apply the -config file live (no
+	// socket drop, established rate-limit budgets kept), rotate the
+	// NTS certificate, then recycle the worker pools one shard at a
+	// time under load. Errors are reported and the server keeps its
+	// previous configuration — a bad reload must never take serving
+	// down.
+	reload := func() {
+		if *configPath != "" {
+			rc, err := parseConfig(*configPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ntpserver: reload:", err)
+				return
+			}
+			srv.Reload(rc)
+		}
+		if rotateCert != nil {
+			if err := rotateCert(); err != nil {
+				fmt.Fprintln(os.Stderr, "ntpserver: reload:", err)
+				return
+			}
+		}
+		srv.Recycle()
+		fmt.Printf("ntpserver reloaded (config %q, nts cert rotated %v)\n", *configPath, rotateCert != nil)
+	}
 
 	// A zero interval disables periodic stats (time.NewTicker panics
 	// on it); the ticker is stopped before shutdown either way.
@@ -235,9 +456,37 @@ func main() {
 			if tick != nil {
 				tick.Stop()
 			}
+			if *drain > 0 {
+				// Graceful drain: answer everything already admitted,
+				// then close. On deadline expiry Shutdown degrades to
+				// the old immediate-close behavior by itself.
+				ctx, cancel := context.WithTimeout(context.Background(), *drain)
+				if ke != nil {
+					if err := ke.Shutdown(ctx); err != nil {
+						fmt.Fprintln(os.Stderr, "ntpserver: NTS-KE drain:", err)
+					}
+				}
+				if err := srv.Shutdown(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "ntpserver: drain:", err)
+				}
+				cancel()
+			} else {
+				if ke != nil {
+					ke.Close()
+				}
+				srv.Close()
+			}
+			if ke != nil {
+				// Final checkpoint after the drain: the persisted ring
+				// is exactly what this process last served with.
+				if err := ke.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "ntpserver: NTS state checkpoint:", err)
+				}
+			}
 			printStats()
-			srv.Close()
 			return
+		case <-hup:
+			reload()
 		case <-tickC:
 			printStats()
 		}

@@ -93,6 +93,12 @@ type Config struct {
 	// replies are verified. NTS NAKs and verification failures are
 	// classified distinctly in the report.
 	NTS *NTSConfig
+	// Interrupt, if non-nil, aborts the send phase when it becomes
+	// readable (typically closed on SIGINT/SIGTERM): senders stop at
+	// their next arrival, the linger phase is skipped, and Run returns
+	// a partial report with Truncated set — an interrupted capacity
+	// run keeps the measurements it paid for.
+	Interrupt <-chan struct{}
 }
 
 // NTSConfig parameterizes authenticated load generation.
@@ -261,12 +267,16 @@ func Run(cfg Config) (*Report, error) {
 	}
 	e.sendWG.Wait()
 	sendDur := time.Since(e.start)
+	truncated := e.interrupted()
 
-	// Linger for in-flight replies: until every request is resolved
-	// or the last one's deadline has passed.
-	drainDeadline := time.Now().Add(e.timeout + 50*time.Millisecond)
-	for time.Now().Before(drainDeadline) && e.pendingTotal() > 0 {
-		time.Sleep(10 * time.Millisecond)
+	if !truncated {
+		// Linger for in-flight replies: until every request is resolved
+		// or the last one's deadline has passed. An interrupted run
+		// skips this — the operator wants the report now.
+		drainDeadline := time.Now().Add(e.timeout + 50*time.Millisecond)
+		for time.Now().Before(drainDeadline) && e.pendingTotal() > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 
 	close(e.stop)
@@ -281,7 +291,22 @@ func Run(cfg Config) (*Report, error) {
 		sk.pending = nil
 		sk.mu.Unlock()
 	}
-	return e.report(sendDur), nil
+	rep := e.report(sendDur)
+	rep.Truncated = truncated
+	return rep, nil
+}
+
+// interrupted reports whether the Interrupt channel has fired.
+func (e *engine) interrupted() bool {
+	if e.cfg.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-e.cfg.Interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -446,8 +471,23 @@ func (e *engine) send(id int) {
 	si := 0
 	for next.Before(end) {
 		if wait := next.Sub(time.Now()); wait > pacingSlack {
-			time.Sleep(wait)
+			// Interruptible pacing: a SIGINT mid-sleep stops the
+			// sender at this arrival instead of after it.
+			if e.cfg.Interrupt != nil {
+				t := time.NewTimer(wait)
+				select {
+				case <-e.cfg.Interrupt:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			} else {
+				time.Sleep(wait)
+			}
 			continue
+		}
+		if e.interrupted() {
+			return
 		}
 		// Due (or overdue — then requests go back-to-back until the
 		// schedule is caught up; open loop never drops offered load).

@@ -226,6 +226,48 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 }
 
+// TestInterruptEmitsPartialReport: an interrupt mid-send-phase stops
+// the run early and returns the partial counters with Truncated set —
+// the behavior cmd/ntpload wires to SIGINT/SIGTERM so an aborted
+// capacity run is not a total loss.
+func TestInterruptEmitsPartialReport(t *testing.T) {
+	_, addr := startServer(t, nil)
+	interrupt := make(chan struct{})
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		close(interrupt)
+	}()
+	begin := time.Now()
+	rep, err := Run(Config{
+		Target: addr, Rate: 1000, Duration: 30 * time.Second,
+		Senders: 2, Arrival: ArrivalFixed, Timeout: 500 * time.Millisecond,
+		Seed: 7, Interrupt: interrupt,
+	})
+	elapsed := time.Since(begin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("report not marked truncated")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("run took %v after a 200ms interrupt — senders did not stop", elapsed)
+	}
+	if rep.Sent == 0 || rep.Received == 0 {
+		t.Errorf("partial report empty: sent=%d received=%d", rep.Sent, rep.Received)
+	}
+	if rep.DurationSec >= 30 {
+		t.Errorf("duration_sec = %.1f, want the truncated elapsed time", rep.DurationSec)
+	}
+	js, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"truncated":true`) {
+		t.Errorf("JSON report missing truncated flag: %s", js)
+	}
+}
+
 func TestOpenLoopKeepsSendingToDeadTarget(t *testing.T) {
 	// A blackhole endpoint: bound but never read. A closed-loop
 	// generator would stall after the first in-flight window; the

@@ -21,6 +21,11 @@ type Report struct {
 	DurationSec     float64 `json:"duration_sec"`
 	TimeoutSec      float64 `json:"timeout_sec"`
 
+	// Truncated marks a run whose send phase was interrupted
+	// (SIGINT/SIGTERM via Config.Interrupt): the counters and
+	// quantiles are genuine but cover less than Duration.
+	Truncated bool `json:"truncated,omitempty"`
+
 	Sent     uint64 `json:"sent"`
 	Received uint64 `json:"received"`
 	KoD      uint64 `json:"kod"`
@@ -154,6 +159,9 @@ func (r *Report) String() string {
 	if r.NTSSessions > 0 {
 		s += fmt.Sprintf(" nts: sessions=%d nak=%d auth-fail=%d protect-err=%d",
 			r.NTSSessions, r.KoDNTS, r.NTSAuthFail, r.NTSProtectErrors)
+	}
+	if r.Truncated {
+		s += " [truncated]"
 	}
 	return s
 }

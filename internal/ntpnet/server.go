@@ -105,11 +105,15 @@ type Server struct {
 	shards          []*shard
 	workersPerShard int
 	ctrl            *overload.Controller
-	limiter         *rateLimiter
-	restarts        atomic.Uint64
-	stopHk          chan struct{}
-	hkWG            sync.WaitGroup
-	wg              sync.WaitGroup
+	// stratum and limiter are the live-reloadable serving parameters:
+	// the hot path reads them atomically so Reload can swap them under
+	// full load without a lock or a socket drop.
+	stratum  atomic.Uint32
+	limiter  atomic.Pointer[rateLimiter]
+	restarts atomic.Uint64
+	stopHk   chan struct{}
+	hkWG     sync.WaitGroup
+	wg       sync.WaitGroup
 
 	mu     sync.Mutex // guards closed vs. worker spawning
 	closed bool
@@ -161,8 +165,9 @@ func (s *Server) Listen(addr string) (*net.UDPAddr, error) {
 		return nil, err
 	}
 	s.conns = conns
+	s.stratum.Store(uint32(s.Stratum))
 	if s.RateLimit > 0 {
-		s.limiter = newRateLimiter(s.RateLimit, s.RateWindow, s.MaxClients)
+		s.limiter.Store(newRateLimiter(s.RateLimit, s.RateWindow, s.MaxClients))
 	}
 	if s.Overload != nil {
 		s.ctrl = overload.New(*s.Overload)
@@ -248,6 +253,134 @@ func listenReusePort(ua *net.UDPAddr, n int) ([]*net.UDPConn, error) {
 		}
 	}
 	return conns, nil
+}
+
+// Shutdown gracefully drains the server: it stops admitting new
+// datagrams, lets every in-flight handler finish and write its reply,
+// waits for the housekeeping/watchdog loop, and only then closes the
+// sockets — a restart under live load answers everything it had
+// already accepted instead of abandoning requests mid-quantum.
+//
+// The mechanism: every socket gets an already-expired read deadline,
+// so a worker blocked in a read wakes with a timeout and exits without
+// admitting anything, while a worker mid-handle finishes the request,
+// writes the reply, and exits on its next read (the deadline is
+// sticky). Datagrams still queued in the kernel are never admitted.
+//
+// If ctx expires before the drain completes, Shutdown degrades to
+// Close's behavior — the sockets are closed under whatever is still in
+// flight — and returns ctx.Err(). Calling Shutdown on a closed server
+// returns nil; Close after Shutdown is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true // stops worker respawns; makes Close a no-op
+	s.mu.Unlock()
+	now := time.Now()
+	for _, c := range s.conns {
+		_ = c.SetReadDeadline(now)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+	if s.stopHk != nil {
+		close(s.stopHk)
+	}
+	var first error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.hkWG.Wait()
+	if drainErr != nil {
+		return drainErr
+	}
+	return first
+}
+
+// ReloadConfig is a live configuration change applied by Reload: the
+// parameters an operator may turn on a running server without a
+// restart. Zero-valued fields keep the current setting.
+type ReloadConfig struct {
+	// Stratum, if in 1..15, replaces the advertised stratum.
+	Stratum uint8
+	// RateLimit: nil keeps the current setting. A pointer to a
+	// non-positive value turns rate limiting off; a positive value
+	// updates the limit in place — established clients keep their
+	// window state and budgets — or installs a fresh table when rate
+	// limiting was off.
+	RateLimit *int
+	// RateWindow and MaxClients refine a RateLimit change; zero keeps
+	// the table's current window/bound.
+	RateWindow time.Duration
+	MaxClients int
+	// Overload, if non-nil, reconfigures the admission controller in
+	// place — health state, sojourn EWMA and transition counters are
+	// preserved (see overload.Controller.Reconfigure). Ignored when
+	// the server was started without overload control.
+	Overload *overload.Config
+}
+
+// Reload applies a live configuration change while the server keeps
+// serving: no socket is dropped, no worker stops, and in-flight
+// requests are answered under whichever parameters they loaded. This
+// is the SIGHUP path — cmd/ntpserver re-reads its config file and
+// calls Reload, then Recycle.
+func (s *Server) Reload(r ReloadConfig) {
+	if r.Stratum >= 1 && r.Stratum <= 15 {
+		s.stratum.Store(uint32(r.Stratum))
+	}
+	if r.RateLimit != nil {
+		switch lim := s.limiter.Load(); {
+		case *r.RateLimit <= 0:
+			s.limiter.Store(nil)
+		case lim != nil:
+			lim.reconfigure(*r.RateLimit, r.RateWindow, r.MaxClients)
+		default:
+			w, mc := r.RateWindow, r.MaxClients
+			if w <= 0 {
+				w = s.RateWindow
+			}
+			if mc <= 0 {
+				mc = s.MaxClients
+			}
+			s.limiter.Store(newRateLimiter(*r.RateLimit, w, mc))
+		}
+	}
+	if r.Overload != nil && s.ctrl != nil {
+		s.ctrl.Reconfigure(*r.Overload)
+	}
+}
+
+// Recycle rotates every shard's worker pool, one shard at a time,
+// reusing the watchdog's epoch-bump machinery: each shard's old
+// complement is told to exit (wherever its workers next unblock) while
+// a fresh complement starts against the same socket, so the sockets —
+// and the SO_REUSEPORT group — never drop and the other shards keep
+// serving throughout. The admission controller is paused for the
+// duration so the recycle's transient churn is not mistaken for
+// overload. Pool rotations are counted in Snapshot().Restarts, same
+// as watchdog-initiated ones.
+func (s *Server) Recycle() {
+	if s.ctrl != nil {
+		s.ctrl.Pause()
+		defer s.ctrl.Resume()
+	}
+	for _, sh := range s.shards {
+		s.restartShard(sh)
+	}
 }
 
 // Close stops the server and waits for every serve goroutine to exit.
@@ -341,10 +474,11 @@ func (s *Server) RateLimited() int {
 // RateTableSize returns the current rate-limit table population
 // (0 when rate limiting is off).
 func (s *Server) RateTableSize() int {
-	if s.limiter == nil {
+	lim := s.limiter.Load()
+	if lim == nil {
 		return 0
 	}
-	return s.limiter.size()
+	return lim.size()
 }
 
 // spawnWorker starts one serve goroutine for sh's epoch-th pool,
@@ -501,13 +635,14 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 			return out
 		}
 	}
+	limiter := s.limiter.Load()
 	if ctrl != nil && !probe && ntsReq == nil && ctrl.State() == overload.Degraded {
 		// Shed new/unseen flows first: clients already holding
 		// rate-limit state keep their budget, so the population being
 		// answered well stays stable while fresh arrivals are told
 		// RATE — loudly, not by silent drop. Flows that win the coin
 		// toss proceed, enter the table below, and become established.
-		established := s.limiter != nil && s.limiter.known(keyFromIP(peer.IP), recv)
+		established := limiter != nil && limiter.known(keyFromIP(peer.IP), recv)
 		if !established && rand.Float64() < ctrl.ShedProb() {
 			var ok bool
 			if out, ok = s.writeRate(sh, version, req, peer, out); ok {
@@ -521,7 +656,7 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 	// timestamp: under a simulated or offset clock the windows
 	// must follow the clock that stamps the packets, not the
 	// wall.
-	if s.limiter != nil && s.limiter.over(keyFromIP(peer.IP), recv) {
+	if limiter != nil && limiter.over(keyFromIP(peer.IP), recv) {
 		var ok bool
 		if out, ok = s.writeRate(sh, version, req, peer, out); ok {
 			sh.metrics.Limited.Add(1)
@@ -532,7 +667,7 @@ func (s *Server) handle(sh *shard, pkt []byte, peer *net.UDPAddr, ingress time.T
 		Leap:      ntppkt.LeapNone,
 		Version:   version,
 		Mode:      ntppkt.ModeServer,
-		Stratum:   s.Stratum,
+		Stratum:   uint8(s.stratum.Load()),
 		Poll:      req.Poll,
 		Precision: -20,
 		RefID:     s.RefID,
@@ -659,13 +794,13 @@ func (s *Server) housekeep(interval time.Duration) {
 				cooldown[i] = 2
 			}
 		}
-		if s.limiter != nil {
-			s.limiter.sweep(s.Clock.Now())
+		if lim := s.limiter.Load(); lim != nil {
+			lim.sweep(s.Clock.Now())
 		}
 		if s.ctrl != nil {
 			var occ float64
-			if s.limiter != nil {
-				occ = s.limiter.occupancy()
+			if lim := s.limiter.Load(); lim != nil {
+				occ = lim.occupancy()
 			}
 			snap := s.Snapshot()
 			dServed := snap.Served - prevServed

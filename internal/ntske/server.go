@@ -1,6 +1,7 @@
 package ntske
 
 import (
+	"context"
 	"crypto/tls"
 	"encoding/binary"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mntp/internal/nts"
@@ -41,10 +43,39 @@ type Server struct {
 	// RotateEvery, if positive, rotates the key ring on a timer for
 	// the lifetime of the server.
 	RotateEvery time.Duration
+	// StatePath and StateKey, if both set, checkpoint the key ring to
+	// StatePath (sealed under StateKey, see nts.KeyRing.Save) after
+	// every timed rotation, so a restarted server can restore the ring
+	// and keep decrypting the fleet's outstanding cookies. Checkpoint
+	// failures never stop serving; they are counted in
+	// CheckpointErrors.
+	StatePath string
+	StateKey  []byte
+	// CertRotateEvery, if positive, regenerates the serving
+	// certificate on a timer: a fresh self-signed cert (lifetime
+	// CertLifetime, hosts CertHosts) is swapped in atomically — new
+	// handshakes pick it up, in-flight ones finish under the old one,
+	// and the listener never drops. Requires the TLSConfig to have
+	// carried static Certificates (the swap path); a caller-provided
+	// GetCertificate wins over rotation.
+	CertRotateEvery time.Duration
+	// CertLifetime is the rotated certificates' validity (default
+	// 2×CertRotateEvery, so a client that pinned the previous cert
+	// has a full rotation period of overlap).
+	CertLifetime time.Duration
+	// CertHosts are the rotated certificates' SANs (default the
+	// SelfSigned loopback set).
+	CertHosts []string
+	// OnCertRotate, if non-nil, is called with the PEM of each newly
+	// rotated certificate — cmd/ntpserver rewrites its -nts-cert-out
+	// file here so late-joining clients can pin the current cert.
+	OnCertRotate func(certPEM []byte)
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	stopCh chan struct{}
+	ln       net.Listener
+	wg       sync.WaitGroup
+	stopCh   chan struct{}
+	cert     atomic.Pointer[tls.Certificate]
+	ckptErrs atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -68,6 +99,17 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if cfg.MinVersion < tls.VersionTLS13 {
 		cfg.MinVersion = tls.VersionTLS13
 	}
+	if cfg.GetCertificate == nil && len(cfg.Certificates) > 0 {
+		// Route certificate selection through the atomic holder so
+		// SetCertificate (and the rotate loop) can swap the serving
+		// cert under live handshakes without touching the listener.
+		first := cfg.Certificates[0]
+		s.cert.Store(&first)
+		cfg.Certificates = nil
+		cfg.GetCertificate = func(*tls.ClientHelloInfo) (*tls.Certificate, error) {
+			return s.cert.Load(), nil
+		}
+	}
 	tcp, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -80,7 +122,64 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		s.wg.Add(1)
 		go s.rotateLoop()
 	}
+	if s.CertRotateEvery > 0 && s.cert.Load() != nil {
+		s.wg.Add(1)
+		go s.certRotateLoop()
+	}
 	return tcp.Addr(), nil
+}
+
+// SetCertificate atomically replaces the serving certificate: new
+// handshakes use it immediately, connections mid-handshake finish
+// under the certificate they started with, and the listener never
+// drops. It is a no-op on a server whose TLSConfig supplied its own
+// GetCertificate callback.
+func (s *Server) SetCertificate(cert tls.Certificate) {
+	if s.cert.Load() == nil {
+		return
+	}
+	s.cert.Store(&cert)
+}
+
+// Checkpoint persists the key ring to StatePath now (see
+// nts.KeyRing.Save); it is the explicit flush for shutdown paths,
+// complementing the rotate loop's automatic checkpoints.
+func (s *Server) Checkpoint() error {
+	if s.StatePath == "" || s.StateKey == nil {
+		return nil
+	}
+	return s.Ring.Save(s.StatePath, s.StateKey)
+}
+
+// CheckpointErrors returns the number of failed automatic ring
+// checkpoints since Listen.
+func (s *Server) CheckpointErrors() uint64 { return s.ckptErrs.Load() }
+
+// Shutdown stops accepting new KE connections and waits for in-flight
+// exchanges (each already bounded by the per-connection deadline) to
+// finish. If ctx expires first it returns ctx.Err() without waiting
+// further; the stragglers still terminate on their own deadlines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	err := s.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return err
 }
 
 // Close stops accepting and waits for in-flight exchanges.
@@ -131,6 +230,42 @@ func (s *Server) rotateLoop() {
 			return
 		case <-t.C:
 			_ = s.Ring.Rotate()
+			// Checkpoint after every rotation: the persisted state is
+			// at most one epoch stale, and a restart from it still
+			// decrypts every cookie within the retention window.
+			if err := s.Checkpoint(); err != nil {
+				s.ckptErrs.Add(1)
+			}
+		}
+	}
+}
+
+// certRotateLoop regenerates the self-signed serving certificate on a
+// timer. Each rotation mints a fresh key pair with lifetime
+// CertLifetime (default 2×CertRotateEvery — a rotation period of
+// validity overlap for clients pinning the previous cert) and swaps
+// it into the holder; generation failures keep the current cert.
+func (s *Server) certRotateLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.CertRotateEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			lifetime := s.CertLifetime
+			if lifetime <= 0 {
+				lifetime = 2 * s.CertRotateEvery
+			}
+			cert, certPEM, err := SelfSignedFor(time.Now(), lifetime, s.CertHosts...)
+			if err != nil {
+				continue
+			}
+			s.SetCertificate(cert)
+			if s.OnCertRotate != nil {
+				s.OnCertRotate(certPEM)
+			}
 		}
 	}
 }

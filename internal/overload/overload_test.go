@@ -258,3 +258,110 @@ func TestIdleDecayHalvesCryptoCost(t *testing.T) {
 		t.Fatalf("crypto EWMA never decayed to 0, stuck at %v", got)
 	}
 }
+
+// TestReconfigurePreservesState: a live parameter reload must not
+// reset what the controller has learned — a Degraded server that gets
+// its target tightened mid-incident stays Degraded, with its EWMA and
+// transition counters intact, and the new target is effective
+// immediately.
+func TestReconfigurePreservesState(t *testing.T) {
+	c := New(cfg())
+	c.Observe(10*time.Millisecond, base)
+	c.Observe(10*time.Millisecond, base.Add(100*time.Millisecond))
+	if got := c.State(); got != Degraded {
+		t.Fatalf("setup: state = %v, want degraded", got)
+	}
+
+	nc := cfg()
+	nc.Target = 20 * time.Millisecond // 10ms EWMA is now under target
+	c.Reconfigure(nc)
+	if got := c.State(); got != Degraded {
+		t.Fatalf("state after Reconfigure = %v, want degraded (reload must not reset)", got)
+	}
+	st := c.Stats()
+	if st.DegradedEntries != 1 {
+		t.Errorf("DegradedEntries = %d after reload, want 1", st.DegradedEntries)
+	}
+	if st.Sojourn != 10*time.Millisecond {
+		t.Errorf("sojourn EWMA = %v after reload, want 10ms carried over", st.Sojourn)
+	}
+
+	// The new, looser target governs from here: the same 10ms sojourn
+	// now reads as quiet, and a sustained quiet period recovers.
+	t0 := base.Add(200 * time.Millisecond)
+	c.Observe(10*time.Millisecond, t0)
+	c.Observe(10*time.Millisecond, t0.Add(200*time.Millisecond))
+	if got := c.State(); got != Healthy {
+		t.Fatalf("state = %v, want healthy under the reloaded 20ms target", got)
+	}
+}
+
+// TestReconfigureZeroFieldsTakeDefaults pins that Reconfigure runs the
+// same defaulting as New, so a partially filled reload config cannot
+// leave the controller with a zero target or interval.
+func TestReconfigureZeroFieldsTakeDefaults(t *testing.T) {
+	c := New(cfg())
+	c.Reconfigure(Config{})
+	c.mu.Lock()
+	got := c.cfg
+	c.mu.Unlock()
+	if got.Target != 5*time.Millisecond || got.Interval != 100*time.Millisecond || got.ProbeEvery != 16 {
+		t.Fatalf("reconfigured zero config = %+v, want defaults applied", got)
+	}
+}
+
+// TestPauseHoldsStateThroughDisturbance: while paused — a shard
+// recycle in progress — enormous sojourn samples and Evaluate calls
+// must neither escalate nor recover the state; Resume restarts the
+// sustained-interval timers so the paused stretch counts for nothing.
+func TestPauseHoldsStateThroughDisturbance(t *testing.T) {
+	c := New(cfg())
+	c.Pause()
+	c.Observe(time.Second, base)
+	c.Observe(time.Second, base.Add(150*time.Millisecond))
+	c.Evaluate(base.Add(200*time.Millisecond), Signals{TableOccupancy: 1})
+	if got := c.State(); got != Healthy {
+		t.Fatalf("state while paused = %v, want healthy (recycle transient must not escalate)", got)
+	}
+	if st := c.Stats(); st.Sojourn != 0 {
+		t.Fatalf("sojourn EWMA = %v while paused, want 0 (samples discarded)", st.Sojourn)
+	}
+
+	c.Resume()
+	// Post-resume, escalation must be re-earned over a full interval
+	// from fresh timers, not inherited from the paused stretch.
+	t0 := base.Add(300 * time.Millisecond)
+	c.Observe(time.Second, t0)
+	if got := c.State(); got != Healthy {
+		t.Fatalf("state right after resume = %v, want healthy until a fresh sustained interval", got)
+	}
+	c.Observe(time.Second, t0.Add(100*time.Millisecond))
+	if got := c.State(); got != Overloaded {
+		t.Fatalf("state after post-resume sustained collapse = %v, want overloaded", got)
+	}
+}
+
+// TestPausePreservesDegradedPolicy: pausing in Degraded keeps the
+// admission policy — State and ShedProb — steady for the recycle's
+// duration instead of flapping to Healthy.
+func TestPausePreservesDegradedPolicy(t *testing.T) {
+	c := New(cfg())
+	c.Observe(10*time.Millisecond, base)
+	c.Observe(10*time.Millisecond, base.Add(100*time.Millisecond))
+	if got := c.State(); got != Degraded {
+		t.Fatalf("setup: state = %v, want degraded", got)
+	}
+	p := c.ShedProb()
+	c.Pause()
+	// A long quiet stretch arrives during the recycle; it must not
+	// recover the state while paused.
+	c.Observe(time.Microsecond, base.Add(400*time.Millisecond))
+	c.Evaluate(base.Add(500*time.Millisecond), Signals{})
+	if got := c.State(); got != Degraded {
+		t.Fatalf("state while paused = %v, want degraded held", got)
+	}
+	if got := c.ShedProb(); got != p {
+		t.Fatalf("ShedProb changed while paused: %v -> %v", p, got)
+	}
+	c.Resume()
+}

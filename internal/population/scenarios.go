@@ -44,6 +44,16 @@ type Report struct {
 	Shed           uint64 `json:"shed,omitempty"`
 	ShedDropped    uint64 `json:"shed_dropped,omitempty"`
 
+	// Restart-storm fields: the persisted-keyring pass's NTS NAK and
+	// re-KE counts (both must be zero) and the cold baseline's, which
+	// must show the herd. Cold's dark interval is reported beside the
+	// persisted pass's DarkStreakReal for comparison.
+	NTSNaks            uint64 `json:"nts_naks,omitempty"`
+	ReKEs              uint64 `json:"re_kes,omitempty"`
+	ColdNTSNaks        uint64 `json:"cold_nts_naks,omitempty"`
+	ColdReKEs          uint64 `json:"cold_re_kes,omitempty"`
+	ColdDarkStreakReal int    `json:"cold_dark_streak_real,omitempty"`
+
 	RTTP50MS float64 `json:"rtt_p50_ms,omitempty"`
 	RTTP99MS float64 `json:"rtt_p99_ms,omitempty"`
 
@@ -80,11 +90,12 @@ const (
 	ScenarioHerd        = "herd"
 	ScenarioNAT         = "nat"
 	ScenarioFalseticker = "falseticker"
+	ScenarioRestart     = "restart"
 )
 
 // Scenarios lists the catalog in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioFlashCrowd, ScenarioHerd, ScenarioNAT, ScenarioFalseticker}
+	return []string{ScenarioFlashCrowd, ScenarioHerd, ScenarioNAT, ScenarioFalseticker, ScenarioRestart}
 }
 
 // Run dispatches a scenario by name with its default population size
@@ -111,6 +122,11 @@ func Run(name string, n int, seed int64) (*Report, error) {
 			n = 20000
 		}
 		return PartialFalseticker(n, seed)
+	case ScenarioRestart:
+		if n == 0 {
+			n = 48
+		}
+		return RestartStorm(n, seed)
 	default:
 		return nil, fmt.Errorf("population: unknown scenario %q (have %v)", name, Scenarios())
 	}
